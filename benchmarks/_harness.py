@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark files."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The quantity of interest is the experiment's output (the regenerated
+    table/figure), not the harness's wall-clock time, so a single round is
+    enough; pytest-benchmark still records the timing for regression tracking.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

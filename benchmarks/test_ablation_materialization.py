@@ -1,0 +1,18 @@
+"""Benchmark for the materialized-reduction ablation (Figure 4's optimization)."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import ablation_materialization
+
+
+def test_materialized_reduction_ablation(benchmark):
+    result = run_once(benchmark, ablation_materialization.run)
+    print()
+    print(result.to_table())
+    # The Figure 4 example: naive k*H MACs vs (1 + k/s)*H after materialization.
+    figure4 = result.row("figure4")
+    assert figure4.gain > 1.5
+    # Operator 1's staged lowering (Listing 2) is far cheaper than the naive nest.
+    assert result.row("operator1").gain > 5.0
+    # No operator gets worse: the pass falls back to the naive program.
+    assert all(row.gain >= 1.0 for row in result.rows)

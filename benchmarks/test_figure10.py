@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 10: GPT-2 perplexity vs training steps."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import figure10
+
+
+def test_figure10_gpt2_perplexity(benchmark):
+    result = run_once(benchmark, figure10.run, train_steps=30)
+    print()
+    print(result.to_table())
+    # Both runs actually trained (losses decreased from their starting point).
+    assert result.baseline_losses[-1] < result.baseline_losses[0]
+    assert result.syno_losses[-1] < result.syno_losses[0]
+    # The substituted model reaches a perplexity no worse than ~15% above the
+    # baseline (the paper reports it is in fact better: 99 vs 111).
+    assert result.syno_perplexity < result.baseline_perplexity * 1.15
+    # The grouped QKV projection yields a training-step speedup (paper: ~1.1x).
+    assert result.training_speedup > 1.0

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 5: end-to-end speedups on the five vision models."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import figure5
+
+
+def test_figure5_end_to_end_speedups(benchmark):
+    result = run_once(benchmark, figure5.run)
+    print()
+    print(result.to_table())
+    # The paper's headline claim: Syno finds operators that speed up every
+    # model on every platform with both compilers (geomeans 1.37x - 2.06x).
+    for backend in ("tvm", "torchinductor"):
+        for target in ("mobile_cpu", "mobile_gpu", "a100"):
+            assert result.geomean_speedup(target, backend) > 1.0
+    # ResNets (non-NAS-optimized) should gain more than EfficientNetV2 (the
+    # NAS-optimized backbone), mirroring the paper's per-model ordering.
+    resnet = [r.speedup for r in result.rows if r.model == "resnet18" and r.backend == "tvm"]
+    efficientnet = [
+        r.speedup for r in result.rows if r.model == "efficientnet_v2_s" and r.backend == "tvm"
+    ]
+    assert min(resnet) > min(efficientnet)

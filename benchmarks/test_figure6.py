@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 6: accuracy-vs-latency Pareto curves."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import figure6
+
+
+def test_figure6_pareto_curves(benchmark):
+    result = run_once(benchmark, figure6.run, models=["resnet18", "resnet34"])
+    print()
+    print(result.to_table())
+    for model in ("resnet18", "resnet34"):
+        points = [p for p in result.points if p.model == model]
+        baseline = next(p for p in points if p.candidate == "baseline")
+        # At least one Syno candidate is faster than the baseline model.
+        assert any(p.latency_ms < baseline.latency_ms for p in points if p.candidate != "baseline")
+        # The Pareto front contains at least one Syno point (the latency end).
+        front = result.pareto_front(model)
+        assert any(p.candidate != "baseline" for p in front)
+
+
+def test_figure6_resnet34_vs_resnet18_headline(benchmark):
+    """The paper highlights Syno-optimized ResNet-34 beating baseline ResNet-18 in latency."""
+    result = run_once(benchmark, figure6.run, models=["resnet18", "resnet34"], train_steps=8)
+    baseline18 = next(
+        p for p in result.points if p.model == "resnet18" and p.candidate == "baseline"
+    )
+    best34 = min(
+        (p for p in result.points if p.model == "resnet34" and p.candidate != "baseline"),
+        key=lambda p: p.latency_ms,
+    )
+    assert best34.latency_ms < baseline18.latency_ms

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 8: Operator 1 vs stacked conv vs INT8 quantization."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import figure8
+
+
+def test_figure8_case_study(benchmark):
+    result = run_once(benchmark, figure8.run)
+    print()
+    print(result.to_table())
+    original = result.point("original")
+    operator1 = result.point("operator1")
+    stacked = result.point("stacked_convolution")
+    quantized = result.point("int8_quantized")
+    # Latency ordering: Operator 1 is faster than the original model and than
+    # the stacked convolution; INT8 also beats the original.
+    assert operator1.latency_ms < original.latency_ms
+    assert operator1.latency_ms < stacked.latency_ms
+    assert quantized.latency_ms < original.latency_ms
+    # Quantization keeps most of the original accuracy (its drop is small).
+    assert quantized.accuracy >= original.accuracy - 0.1

@@ -1,0 +1,32 @@
+"""Benchmark regenerating Figure 9: layer-wise comparison with NAS-PTE on ResNet-34."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import figure9
+
+
+def test_figure9_layerwise_comparison(benchmark):
+    result = run_once(benchmark, figure9.run)
+    print()
+    print(result.to_table())
+    print("Syno-vs-NAS-PTE geomean (TVM, mobile CPU):",
+          result.syno_vs_naspte_geomean("mobile_cpu", "tvm"))
+    print("FLOPs reduction range:", result.flops_reduction_range())
+    print("Parameter reduction range:", result.parameter_reduction_range())
+
+    # Every layer has results for both operator families.
+    for comparison in result.comparisons:
+        assert any(name in comparison.candidate_ms for name in result.syno_names)
+        assert any(name in comparison.candidate_ms for name in result.nas_pte_names)
+
+    # Syno's best operators use fewer parameters than NAS-PTE's best
+    # (the paper reports 1.80x - 9.50x fewer).
+    low, high = result.parameter_reduction_range()
+    assert low > 1.0
+
+    # On the A100 with TorchInductor, Syno's advantage over NAS-PTE is larger
+    # than on the mobile CPU with TorchInductor (where Inductor falls back to
+    # ATen kernels), reproducing the paper's platform-dependent ordering.
+    a100 = result.syno_vs_naspte_geomean("a100", "torchinductor")
+    mobile = result.syno_vs_naspte_geomean("mobile_cpu", "torchinductor")
+    assert a100 > mobile

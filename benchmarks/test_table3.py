@@ -1,0 +1,25 @@
+"""Benchmark regenerating Table 3: canonical rates by pGraph size."""
+
+from benchmarks._harness import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_canonicalization_rates(benchmark):
+    result = run_once(benchmark, table3.run, num_samples=300)
+    print()
+    print(result.to_table())
+    # Canonicalization prunes a large majority of random candidates
+    # (the paper reports a >70x reduction; the exact factor depends on scale).
+    assert result.redundancy_factor > 3.0
+    # The canonical rate collapses for large pGraphs (0.00% at size >= 8).
+    large = [size for size in result.per_size if size >= 7]
+    if large:
+        assert all(result.canonical_rate(size) <= 0.10 for size in large)
+    # Small pGraphs are much more often canonical than large ones.
+    small_sizes = [s for s in result.per_size if s <= 3]
+    large_sizes = [s for s in result.per_size if s >= 6]
+    if small_sizes and large_sizes:
+        small_rate = max(result.canonical_rate(s) for s in small_sizes)
+        large_rate = max(result.canonical_rate(s) for s in large_sizes)
+        assert small_rate > large_rate

@@ -1,0 +1,32 @@
+"""GPT-2 QKV-projection substitution (the Section 9.3 experiment, scaled down).
+
+Substitutes a grouped projection operator for the QKV projections of a tiny
+GPT-2, trains both models on the synthetic language-modelling task, and
+reports perplexities plus the estimated training-step speedup at real GPT-2
+dimensions.
+
+Run with:  python examples/gpt2_projection_search.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import figure10
+
+
+def main() -> None:
+    steps = int(os.environ.get("REPRO_TRAIN_STEPS", 40))
+    result = figure10.run(train_steps=steps)
+    print("=== GPT-2 QKV substitution ===")
+    print(result.to_table())
+    print("\nloss trajectory (baseline vs substituted):")
+    for index in range(0, len(result.baseline_losses), max(len(result.baseline_losses) // 10, 1)):
+        baseline = result.baseline_losses[index]
+        syno = result.syno_losses[index] if index < len(result.syno_losses) else float("nan")
+        print(f"  step {index:4d}: baseline={baseline:.3f}  syno={syno:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Quickstart: build, inspect, lower and search neural operators with repro.
+
+This walks the public API end to end:
+
+1. express a standard operator (2-D convolution) with the Syno primitives;
+2. lower it to a differentiable module and run it on data;
+3. run guided synthesis for the matmul slot and look at what comes out;
+4. run a small MCTS search with a toy reward.
+
+Run with:  python examples/quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import numpy as np
+
+from repro.codegen.eager import lower_to_module
+from repro.codegen.loopnest import lower_to_loopnest
+from repro.core.enumeration import default_options_for, synthesize
+from repro.core.library import (
+    C_IN,
+    C_OUT,
+    H,
+    K,
+    K1,
+    M,
+    N,
+    OUT_FEATURES,
+    W,
+    build_conv2d,
+    matmul_spec,
+)
+from repro.core.mcts import MCTS, MCTSConfig
+from repro.nn.tensor import Tensor
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    section("1. A 2-D convolution expressed with Syno primitives")
+    conv = build_conv2d()
+    print(conv.describe())
+    binding = {N: 2, C_IN: 8, C_OUT: 16, H: 8, W: 8, K1: 3}
+    print("parameters:", conv.parameter_count(binding))
+    print("MACs:      ", conv.macs(binding))
+
+    section("2. Lowering to a differentiable module (the PyTorch-like backend)")
+    module = lower_to_module(conv, binding, rng=np.random.default_rng(0))
+    x = Tensor(np.random.default_rng(1).normal(size=(2, 8, 8, 8)), requires_grad=True)
+    y = module(x)
+    print("output shape:", y.shape)
+    y.sum().backward()
+    print("gradient w.r.t. input has shape:", x.grad.shape)
+
+    section("3. Lowering to a loop-nest program (the TVM-like backend)")
+    program = lower_to_loopnest(conv, binding)
+    for stage in program.stages:
+        print(f"  stage {stage.name}: {stage.macs} MACs, extents {stage.extents}")
+
+    section("4. Guided synthesis for the matmul slot")
+    spec = matmul_spec(bindings=({M: 16, K: 32, OUT_FEATURES: 24},))
+    options = default_options_for(spec, coefficients=[], max_depth=3)
+    operators, stats = synthesize(spec, options, max_results=8, max_nodes=4000)
+    print(f"found {len(operators)} operators after visiting {stats.nodes_visited} nodes "
+          f"({stats.pruned_by_distance} pruned by shape distance)")
+    for operator in operators[:3]:
+        print("  -", operator.graph.signature())
+
+    section("5. MCTS with a toy reward (prefer fewer MACs under the budget)")
+    reference = 16 * 32 * 24
+
+    def reward(operator):
+        return max(0.0, 1.0 - operator.macs({M: 16, K: 32, OUT_FEATURES: 24}) / (4 * reference))
+
+    search = MCTS(spec=spec, options=options, reward_fn=reward, config=MCTSConfig(iterations=40))
+    best = search.run()[0]
+    print("best reward:", round(best.reward, 3))
+    print(best.operator.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of "Syno: Structured Synthesis for Neural Operators".
+
+The package is organized as follows:
+
+* :mod:`repro.ir` — symbolic sizes, shapes and coordinate expressions;
+* :mod:`repro.core` — primitives, pGraphs, canonicalization, shape distance,
+  guided enumeration and MCTS (the paper's contribution);
+* :mod:`repro.nn` — a numpy autograd / neural-network substrate standing in
+  for PyTorch (models, optimizers, synthetic datasets, trainer);
+* :mod:`repro.codegen` — the eager (PyTorch-like) and loop-nest (TVM-like)
+  code generators for synthesized operators;
+* :mod:`repro.compiler` — the simulated tensor compiler: hardware targets,
+  schedules, analytical cost model, tuner and a template-based backend;
+* :mod:`repro.search` — end-to-end search sessions (Algorithm 1) combining
+  accuracy and latency evaluation;
+* :mod:`repro.baselines` — NAS-PTE, αNAS-style, stacked-convolution and INT8
+  quantization baselines;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,38 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.nas_pte` — the three loop-transformation operator
+  sequences of Turner et al. (NAS-PTE): grouping, bottlenecking and their
+  combination, expressed as pGraphs so they flow through the same code
+  generation and compilation pipeline as Syno's operators;
+* :mod:`repro.baselines.stacked_conv` — the stacked grouped convolution used
+  in the Figure 8 case study (what traditional NAS could have found instead of
+  Operator 1);
+* :mod:`repro.baselines.quantization` — INT8 post-training quantization (the
+  other accuracy-for-latency trade in Figure 8);
+* :mod:`repro.baselines.alphanas` — an αNAS-style coarse-grained subgraph
+  substituter, used for the FLOPs-reduction comparison of Section 9.2.
+"""
+
+from repro.baselines.nas_pte import (
+    NAS_PTE_SEQUENCES,
+    build_bottleneck_conv,
+    build_group_bottleneck_conv,
+    build_grouped_conv,
+)
+from repro.baselines.stacked_conv import StackedConvolution, stacked_conv_program
+from repro.baselines.quantization import QuantizationResult, quantize_model, quantized_latency
+from repro.baselines.alphanas import AlphaNASResult, alphanas_substitution
+
+__all__ = [
+    "NAS_PTE_SEQUENCES",
+    "build_grouped_conv",
+    "build_bottleneck_conv",
+    "build_group_bottleneck_conv",
+    "StackedConvolution",
+    "stacked_conv_program",
+    "QuantizationResult",
+    "quantize_model",
+    "quantized_latency",
+    "AlphaNASResult",
+    "alphanas_substitution",
+]

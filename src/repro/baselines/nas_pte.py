@@ -1,0 +1,110 @@
+"""NAS-PTE baseline operators (Turner et al., ASPLOS 2021).
+
+NAS-PTE extends a tensor compiler with a few *inequivalent* loop
+transformations — grouping and bottlenecking a loop's range — and searches
+over where to apply them.  The paper compares Syno's two case-study operators
+against NAS-PTE's three published operator sequences layer by layer
+(Figure 9).  Here the three sequences are expressed with Syno primitives so
+that FLOPs, parameters and tuned latency all come from the same pipeline:
+
+* **Seq 1** — grouped convolution (grouping the channel loops);
+* **Seq 2** — bottlenecked convolution (shrinking the input-channel range,
+  realized with a ``Stride`` over channels);
+* **Seq 3** — grouped *and* bottlenecked convolution.
+"""
+
+from __future__ import annotations
+
+from repro.core.library import C_IN, C_OUT, GROUPS, K1, SHRINK, conv2d_spec
+from repro.core.operator import OperatorSpec, SynthesizedOperator
+from repro.core.pgraph import PGraph
+from repro.core.primitives import Merge, Reduce, Share, Split, Stride, Unfold
+from repro.ir.size import Size
+
+
+def _root(spec: OperatorSpec) -> PGraph:
+    return PGraph.root(spec.output_shape, spec.input_shape,
+                       output_names=["i_N", "i_Co", "i_H", "i_W"])
+
+
+def _find(graph: PGraph, name: str):
+    for dim in graph.frontier:
+        if dim.name == name:
+            return dim
+    raise KeyError(name)
+
+
+def _last(graph: PGraph):
+    return graph.last_application.produced[-1]
+
+
+def build_grouped_conv(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """NAS-PTE Seq 1: a grouped 3x3 convolution with ``g`` groups."""
+    spec = spec or conv2d_spec()
+    graph = _root(spec)
+    graph = Merge(block=Size.of(C_OUT) / GROUPS).apply(graph, (_find(graph, "i_Co"),))
+    g_dim, co_inner = graph.last_application.produced
+    graph = Reduce(size=Size.of(C_IN) / GROUPS).apply(graph, ())
+    c_inner = _last(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    kh = _last(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    kw = _last(graph)
+    graph = Share(new_weight=True).apply(graph, (c_inner, co_inner))
+    graph = Share(new_weight=False).apply(graph, (kh,))
+    graph = Share(new_weight=False).apply(graph, (kw,))
+    graph = Share(new_weight=False).apply(graph, (g_dim,))
+    graph = Split().apply(graph, (g_dim, c_inner))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), kh))
+    graph = Unfold().apply(graph, (_find(graph, "i_W"), kw))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def build_bottleneck_conv(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """NAS-PTE Seq 2: a convolution contracting a strided subset of channels."""
+    spec = spec or conv2d_spec()
+    graph = _root(spec)
+    graph = Reduce(size=Size.of(C_IN) / SHRINK).apply(graph, ())
+    c_sub = _last(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    kh = _last(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    kw = _last(graph)
+    graph = Share(new_weight=True).apply(graph, (c_sub, _find(graph, "i_Co")))
+    graph = Share(new_weight=False).apply(graph, (kh,))
+    graph = Share(new_weight=False).apply(graph, (kw,))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), kh))
+    graph = Unfold().apply(graph, (_find(graph, "i_W"), kw))
+    graph = Stride(stride=Size.of(SHRINK)).apply(graph, (c_sub,))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def build_group_bottleneck_conv(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """NAS-PTE Seq 3: grouping and bottlenecking combined."""
+    spec = spec or conv2d_spec()
+    graph = _root(spec)
+    graph = Merge(block=Size.of(C_OUT) / GROUPS).apply(graph, (_find(graph, "i_Co"),))
+    g_dim, co_inner = graph.last_application.produced
+    graph = Reduce(size=Size.of(C_IN) / (Size.of(GROUPS) * Size.of(SHRINK))).apply(graph, ())
+    c_sub = _last(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    kh = _last(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    kw = _last(graph)
+    graph = Share(new_weight=True).apply(graph, (c_sub, co_inner))
+    graph = Share(new_weight=False).apply(graph, (kh,))
+    graph = Share(new_weight=False).apply(graph, (kw,))
+    graph = Share(new_weight=False).apply(graph, (g_dim,))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), kh))
+    graph = Unfold().apply(graph, (_find(graph, "i_W"), kw))
+    graph = Stride(stride=Size.of(SHRINK)).apply(graph, (c_sub,))
+    strided_channels = graph.last_application.produced[0]
+    graph = Split().apply(graph, (g_dim, strided_channels))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+NAS_PTE_SEQUENCES = {
+    "seq1_grouped": build_grouped_conv,
+    "seq2_bottleneck": build_bottleneck_conv,
+    "seq3_group_bottleneck": build_group_bottleneck_conv,
+}

@@ -1,0 +1,23 @@
+"""Code generators for synthesized operators (Section 8).
+
+Two backends mirror the paper's:
+
+* :mod:`repro.codegen.eager` — the PyTorch-like generator: lowers a pGraph
+  top-down into differentiable tensor operations of :mod:`repro.nn`, so the
+  operator can be dropped into a backbone model and trained;
+* :mod:`repro.codegen.loopnest` — the TVM-TE-like generator: lowers the
+  pGraph bottom-up into a loop-nest IR (with the materialized-reduction
+  optimization of Figure 4) that the simulated tensor compiler schedules and
+  costs.
+"""
+
+from repro.codegen.eager import EagerOperator, lower_to_module
+from repro.codegen.loopnest import LoopNest, LoopNestProgram, lower_to_loopnest
+
+__all__ = [
+    "EagerOperator",
+    "lower_to_module",
+    "LoopNest",
+    "LoopNestProgram",
+    "lower_to_loopnest",
+]

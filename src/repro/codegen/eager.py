@@ -1,0 +1,263 @@
+"""The eager (PyTorch-like) code generator.
+
+``lower_to_module`` turns a :class:`~repro.core.operator.SynthesizedOperator`
+into a differentiable :class:`~repro.nn.module.Module`.  Following the paper's
+PyTorch generator, each view primitive is lowered to its tensor-op counterpart
+(reshape, roll, sliding-window gather, strided slice, broadcast) and each
+contraction is lowered to an einsum; primitives are lowered in (reverse)
+topological order so dependencies are satisfied.
+
+The lowering walks the pGraph's applications *top-down* (reverse of the
+bottom-up construction order), maintaining the invariant that after the
+application at position ``t`` has been processed the current tensor's axes are
+exactly the pGraph frontier after position ``t``.  Weight tensors are
+multiplied in at the last ``Share`` of their group, where all of their
+identified coordinates are guaranteed to be live axes.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.operator import SynthesizedOperator
+from repro.core.pgraph import Application, Dim
+from repro.core.primitives import Expand, Merge, Reduce, Share, Shift, Split, Stride, Unfold
+from repro.ir.variables import Variable
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class LoweringError(RuntimeError):
+    """Raised when a pGraph cannot be lowered to eager tensor operations."""
+
+
+class EagerOperator(Module):
+    """A synthesized operator lowered to differentiable tensor operations.
+
+    The module owns one :class:`Parameter` per pGraph weight tensor and its
+    ``forward`` reproduces the operator semantics for the concrete ``binding``
+    it was instantiated with (one binding per layer of the backbone model).
+    """
+
+    def __init__(
+        self,
+        operator: SynthesizedOperator,
+        binding: Mapping[Variable, int],
+        rng: np.random.Generator | None = None,
+        weights: list[Parameter] | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.operator = operator
+        self.binding = dict(binding)
+        graph = operator.graph
+        self.weights: list[Parameter] = []
+        reduction_total = 1
+        for dim in graph.reduction_dims:
+            reduction_total *= dim.size.evaluate(binding)
+        num_weights = max(len(graph.weights), 1)
+        for index, weight in enumerate(graph.weights):
+            shape = tuple(dim.size.evaluate(binding) for dim in weight.dims)
+            if weights is not None:
+                # Share parameters with another instantiation of the same
+                # operator (used when only the batch size differs).
+                if tuple(weights[index].shape) != shape:
+                    raise LoweringError(
+                        f"cannot share weights: shape {weights[index].shape} != {shape}"
+                    )
+                self.weights.append(weights[index])
+                continue
+            # Kaiming-style scaling: the *product* of all weight tensors along
+            # the reduction paths should have variance ~ 2 / fan_in, so each
+            # of the W weights takes the 2W-th root.
+            fan_in = max(reduction_total, 1)
+            scale = (2.0 / fan_in) ** (1.0 / (2.0 * num_weights))
+            self.weights.append(Parameter(rng.normal(0.0, scale, size=shape)))
+
+    # -- helpers -------------------------------------------------------------
+
+    def _extent(self, dim: Dim) -> int:
+        return dim.size.evaluate(self.binding)
+
+    def forward(self, x: Tensor) -> Tensor:
+        graph = self.operator.graph
+        expected = self.operator.concrete_input_shape(self.binding)
+        if tuple(x.shape) != tuple(expected):
+            raise LoweringError(f"input shape {x.shape} does not match expected {expected}")
+
+        # Current tensor axes, labelled by pGraph dims.  Axis ``i`` of the
+        # input corresponds to the frontier dim assigned to input position i.
+        axes: list[Dim] = [
+            graph.frontier[index] for index in self.operator.input_assignment
+        ]
+        value: Tensor = x
+        multiplied_weights: set[int] = set()
+
+        for app in reversed(graph.applications):
+            primitive = app.primitive
+            if isinstance(primitive, Share):
+                value, axes = self._lower_share(app, value, axes, multiplied_weights)
+            elif isinstance(primitive, Reduce):
+                value, axes = self._lower_reduce(app, value, axes)
+            elif isinstance(primitive, Merge):
+                value, axes = self._lower_merge(app, value, axes)
+            elif isinstance(primitive, Split):
+                value, axes = self._lower_split(app, value, axes)
+            elif isinstance(primitive, Shift):
+                value, axes = self._lower_shift(app, value, axes, primitive.amount)
+            elif isinstance(primitive, Expand):
+                value, axes = self._lower_expand(app, value, axes)
+            elif isinstance(primitive, Unfold):
+                value, axes = self._lower_unfold(app, value, axes)
+            elif isinstance(primitive, Stride):
+                value, axes = self._lower_stride(app, value, axes, primitive)
+            else:  # pragma: no cover - defensive
+                raise LoweringError(f"unknown primitive {primitive!r}")
+
+        # All remaining axes must be output dims; permute them to output order.
+        output_positions = []
+        for dim in graph.output_dims:
+            if dim not in axes:
+                raise LoweringError(f"output dim {dim!r} missing after lowering")
+            output_positions.append(axes.index(dim))
+        if len(axes) != len(graph.output_dims):
+            extra = [d for d in axes if d not in graph.output_dims]
+            raise LoweringError(f"unexpected residual axes {extra!r}")
+        return F.transpose(value, output_positions)
+
+    # -- per-primitive lowering ----------------------------------------------
+
+    def _axis_of(self, axes: list[Dim], dim: Dim) -> int:
+        try:
+            return axes.index(dim)
+        except ValueError as exc:
+            raise LoweringError(f"dim {dim!r} is not a live axis") from exc
+
+    def _lower_merge(self, app: Application, value: Tensor, axes: list[Dim]):
+        (bottom,) = app.consumed
+        outer, inner = app.produced
+        outer_axis = self._axis_of(axes, outer)
+        inner_axis = self._axis_of(axes, inner)
+        # Bring the inner axis right after the outer axis, then flatten.
+        order = list(range(len(axes)))
+        order.remove(inner_axis)
+        insert_at = order.index(outer_axis) + 1
+        order.insert(insert_at, inner_axis)
+        value = F.transpose(value, order)
+        axes = [axes[i] for i in order]
+        outer_axis = axes.index(outer)
+        new_shape = list(value.shape)
+        new_shape[outer_axis : outer_axis + 2] = [self._extent(bottom)]
+        value = F.reshape(value, new_shape)
+        axes = axes[:outer_axis] + [bottom] + axes[outer_axis + 2 :]
+        return value, axes
+
+    def _lower_split(self, app: Application, value: Tensor, axes: list[Dim]):
+        major, minor = app.consumed
+        (top,) = app.produced
+        axis = self._axis_of(axes, top)
+        new_shape = list(value.shape)
+        new_shape[axis : axis + 1] = [self._extent(major), self._extent(minor)]
+        value = F.reshape(value, new_shape)
+        axes = axes[:axis] + [major, minor] + axes[axis + 1 :]
+        return value, axes
+
+    def _lower_shift(self, app: Application, value: Tensor, axes: list[Dim], amount: int):
+        (bottom,) = app.consumed
+        (top,) = app.produced
+        axis = self._axis_of(axes, top)
+        value = F.roll(value, -amount, axis=axis)
+        axes = list(axes)
+        axes[axis] = bottom
+        return value, axes
+
+    def _lower_expand(self, app: Application, value: Tensor, axes: list[Dim]):
+        (bottom,) = app.consumed
+        extent = self._extent(bottom)
+        value = F.expand_dims(value, axis=len(axes))
+        value = F.broadcast_to(value, tuple(value.shape[:-1]) + (extent,))
+        axes = list(axes) + [bottom]
+        return value, axes
+
+    def _lower_unfold(self, app: Application, value: Tensor, axes: list[Dim]):
+        main, window = app.consumed
+        (top,) = app.produced
+        axis = self._axis_of(axes, top)
+        value = F.unfold1d(value, axis=axis, window=self._extent(window))
+        axes = list(axes)
+        axes[axis] = main
+        axes.append(window)
+        return value, axes
+
+    def _lower_stride(self, app: Application, value: Tensor, axes: list[Dim], primitive: Stride):
+        (bottom,) = app.consumed
+        (top,) = app.produced
+        axis = self._axis_of(axes, top)
+        step = primitive.stride.evaluate(self.binding)
+        value = F.strided_slice(value, axis=axis, step=step)
+        axes = list(axes)
+        axes[axis] = bottom
+        return value, axes
+
+    def _lower_reduce(self, app: Application, value: Tensor, axes: list[Dim]):
+        (produced,) = app.produced
+        axis = self._axis_of(axes, produced)
+        value = F.sum(value, axis=axis)
+        axes = axes[:axis] + axes[axis + 1 :]
+        return value, axes
+
+    def _lower_share(
+        self,
+        app: Application,
+        value: Tensor,
+        axes: list[Dim],
+        multiplied_weights: set[int],
+    ):
+        weight_index = app.weight_index
+        assert weight_index is not None
+        if weight_index in multiplied_weights:
+            # The whole weight tensor was already multiplied at the last Share
+            # of its group; this earlier Share is a no-op on the data path.
+            return value, axes
+        multiplied_weights.add(weight_index)
+
+        weight = self.operator.graph.weights[weight_index]
+        parameter = self.weights[weight_index]
+
+        letters = iter(string.ascii_letters)
+        labels: dict[int, str] = {}
+
+        def label_for(dim: Dim) -> str:
+            if dim.uid not in labels:
+                labels[dim.uid] = next(letters)
+            return labels[dim.uid]
+
+        value_sub = "".join(label_for(dim) for dim in axes)
+        weight_sub = ""
+        new_axes: list[Dim] = []
+        for wdim in weight.dims:
+            target = wdim.identified_with
+            if target is None:  # pragma: no cover - defensive
+                raise LoweringError(f"weight dim {wdim!r} has no identified coordinate")
+            if target in axes:
+                weight_sub += label_for(target)
+            else:
+                weight_sub += label_for(target)
+                if target not in new_axes:
+                    new_axes.append(target)
+        output_sub = value_sub + "".join(label_for(dim) for dim in new_axes)
+        value = F.einsum(f"{value_sub},{weight_sub}->{output_sub}", value, parameter)
+        return value, list(axes) + new_axes
+
+
+def lower_to_module(
+    operator: SynthesizedOperator,
+    binding: Mapping[Variable, int],
+    rng: np.random.Generator | None = None,
+) -> EagerOperator:
+    """Lower a synthesized operator to a trainable module for one binding."""
+    return EagerOperator(operator, binding, rng=rng)

@@ -1,0 +1,382 @@
+"""The loop-nest (TVM-TE-like) code generator and the materialized-reduction pass.
+
+The eager generator (:mod:`repro.codegen.eager`) is what training uses; this
+module produces the representation the *simulated tensor compiler* consumes: a
+sequence of loop-nest stages, each with an iteration space, multiply-accumulate
+count and memory-traffic estimate.
+
+The central optimization is the paper's **materialized reduction** (Section 8,
+Figure 4): a naive lowering evaluates ``|output| * prod(reductions)``
+multiply-accumulates, but when a ``Reduce`` can be performed before a
+1-to-many view (or before contracting a later weight) the reduction can be
+*materialized* into an intermediate tensor, lowering FLOPs — e.g. from
+``k*H`` to ``(1 + k/s) * H`` in the paper's pooling example.  The lowering
+here searches over reduction/weight orderings and keeps the cheapest staged
+program (never worse than the naive single stage).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.operator import SynthesizedOperator
+from repro.core.pgraph import Dim, DimRole, PGraph
+from repro.core.primitives import Expand, Merge, Reduce, Share, Shift, Split, Stride, Unfold
+from repro.ir.variables import Variable
+
+
+# ---------------------------------------------------------------------------
+# Iteration-space atoms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One axis of a stage's iteration space.
+
+    ``identity`` is the pGraph dim the axis corresponds to, ``extent`` its
+    concrete size and ``components`` the set of dim uids the axis *bijectively
+    covers* — iterating the axis determines the value of every covered
+    coordinate (used to avoid double-counting when, e.g., a ``Split`` product
+    covers both of its factors, or an unfolded axis covers the output
+    coordinate it slides over).
+    """
+
+    identity: int
+    extent: int
+    components: frozenset[int]
+    leaf_components: frozenset[int]
+
+
+def _atom_for(dim: Dim, graph: PGraph, binding: Mapping[Variable, int]) -> Atom:
+    extent = dim.size.evaluate(binding)
+    components, leaves = _bijective_components(dim, graph)
+    return Atom(identity=dim.uid, extent=extent, components=components, leaf_components=leaves)
+
+
+def _bijective_components(dim: Dim, graph: PGraph) -> tuple[frozenset[int], frozenset[int]]:
+    """Dims whose values are determined by iterating ``dim`` (plus leaf dims)."""
+    components: set[int] = {dim.uid}
+    leaves: set[int] = set()
+    producer = None
+    for app in graph.applications:
+        if dim in app.produced:
+            producer = app
+            break
+    if producer is None:
+        # Output dims and weight-identified output dims are leaves.
+        leaves.add(dim.uid)
+        return frozenset(components), frozenset(leaves)
+    primitive = producer.primitive
+    if isinstance(primitive, Split):
+        for consumed in producer.consumed:
+            sub, sub_leaves = _bijective_components(consumed, graph)
+            components |= sub
+            leaves |= sub_leaves
+    elif isinstance(primitive, (Shift, Stride)):
+        sub, sub_leaves = _bijective_components(producer.consumed[0], graph)
+        components |= sub
+        leaves |= sub_leaves
+    elif isinstance(primitive, Unfold):
+        # The unfolded axis determines (covers) its *main* coordinate but not
+        # the window coordinate — the window stays a separate loop.
+        main = producer.consumed[0]
+        sub, sub_leaves = _bijective_components(main, graph)
+        components |= sub
+        leaves |= sub_leaves
+    elif isinstance(primitive, Reduce):
+        leaves.add(dim.uid)
+    # Merge / Expand / Share produce dims that cover nothing extra.
+    return frozenset(components), frozenset(leaves)
+
+
+def _count(atoms: Sequence[Atom]) -> tuple[int, list[Atom]]:
+    """Deduplicate atoms (drop those covered by others) and return the product."""
+    kept: list[Atom] = []
+    covered: set[int] = set()
+    for atom in sorted(atoms, key=lambda a: (-len(a.components), -a.extent, a.identity)):
+        if atom.components <= covered and atom.identity in covered:
+            continue
+        kept.append(atom)
+        covered |= atom.components
+    product = 1
+    for atom in kept:
+        product *= atom.extent
+    return product, kept
+
+
+# ---------------------------------------------------------------------------
+# Loop-nest program
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """One materialized stage: an iteration space plus data movement."""
+
+    name: str
+    extents: tuple[int, ...]
+    macs: int
+    input_elements: int
+    weight_elements: int
+    output_elements: int
+
+    @property
+    def iterations(self) -> int:
+        total = 1
+        for extent in self.extents:
+            total *= extent
+        return total
+
+    @property
+    def bytes_moved(self) -> int:
+        """Approximate FP32 traffic: read inputs and weights, write outputs."""
+        return 4 * (self.input_elements + self.weight_elements + self.output_elements)
+
+
+@dataclass(frozen=True)
+class LoopNestProgram:
+    """A staged lowering of one operator at one concrete binding."""
+
+    operator_name: str
+    stages: tuple[LoopNest, ...]
+    naive_macs: int
+    parameter_count: int
+    input_elements: int
+    output_elements: int
+
+    @property
+    def macs(self) -> int:
+        return sum(stage.macs for stage in self.stages)
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @property
+    def bytes_moved(self) -> int:
+        return sum(stage.bytes_moved for stage in self.stages)
+
+    @property
+    def materialization_gain(self) -> float:
+        """How much the materialized-reduction pass lowered the MAC count."""
+        return self.naive_macs / max(self.macs, 1)
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _weight_factor_atoms(
+    graph: PGraph, binding: Mapping[Variable, int]
+) -> list[list[Atom]]:
+    factors = []
+    for weight in graph.weights:
+        atoms = []
+        for wdim in weight.dims:
+            target = wdim.identified_with
+            assert target is not None
+            atoms.append(_atom_for(target, graph, binding))
+        factors.append(atoms)
+    return factors
+
+
+def _needed_leaves(factors: Sequence[Sequence[Atom]]) -> set[int]:
+    needed: set[int] = set()
+    for factor in factors:
+        for atom in factor:
+            needed |= set(atom.components)
+    return needed
+
+
+def _decompose(atoms: Sequence[Atom], eliminated: set[int], graph: PGraph,
+               binding: Mapping[Variable, int]) -> list[Atom]:
+    """Rebuild intermediate atoms after eliminating some reduction dims."""
+    dims_by_uid = _dims_by_uid(graph)
+    result: list[Atom] = []
+    for atom in atoms:
+        if atom.identity in eliminated:
+            continue
+        if atom.components & eliminated:
+            # The axis covered an eliminated coordinate: fall back to the
+            # surviving leaf coordinates it covered.
+            for uid in sorted(atom.leaf_components - eliminated):
+                result.append(_atom_for(dims_by_uid[uid], graph, binding))
+        else:
+            result.append(atom)
+    return result
+
+
+def _dims_by_uid(graph: PGraph) -> dict[int, Dim]:
+    dims: dict[int, Dim] = {dim.uid: dim for dim in graph.output_dims}
+    for app in graph.applications:
+        for dim in itertools.chain(app.consumed, app.produced, app.weight_dims, app.matched):
+            dims.setdefault(dim.uid, dim)
+    return dims
+
+
+def _program_for_order(
+    operator: SynthesizedOperator,
+    binding: Mapping[Variable, int],
+    weight_order: Sequence[int],
+    reduction_order: Sequence[Dim],
+) -> list[LoopNest]:
+    graph = operator.graph
+    weight_factors = _weight_factor_atoms(graph, binding)
+    input_atoms = [_atom_for(dim, graph, binding) for dim in graph.frontier]
+    output_atoms = [_atom_for(dim, graph, binding) for dim in graph.output_dims]
+    output_elements = 1
+    for dim in graph.output_dims:
+        output_elements *= dim.size.evaluate(binding)
+
+    reduction_uids = {dim.uid for dim in graph.reduction_dims}
+    current = list(input_atoms)
+    current_elements = 1
+    for dim in graph.frontier:
+        current_elements *= dim.size.evaluate(binding)
+
+    stages: list[LoopNest] = []
+    remaining_weights = list(weight_order)
+    pending_reductions = list(reduction_order)
+
+    def finalize_needed() -> set[int]:
+        needed = _needed_leaves([weight_factors[i] for i in remaining_weights])
+        needed |= {dim.uid for dim in graph.output_dims}
+        return needed
+
+    for step_index, weight_index in enumerate(weight_order):
+        remaining_weights = [w for w in weight_order if weight_order.index(w) > step_index]
+        participating = current + list(weight_factors[weight_index])
+        macs, kept = _count(participating)
+        needed = finalize_needed()
+        eliminated = {
+            uid
+            for uid in reduction_uids
+            if uid not in needed and any(uid in atom.components for atom in kept)
+        }
+        new_atoms = _decompose(kept, eliminated, graph, binding)
+        out_elems, _ = _count(new_atoms)
+        weight_elems = graph.weights[weight_index].parameter_count(binding)
+        stages.append(
+            LoopNest(
+                name=f"contract_w{weight_index}",
+                extents=tuple(atom.extent for atom in kept),
+                macs=macs,
+                input_elements=current_elements,
+                weight_elements=weight_elems,
+                output_elements=out_elems,
+            )
+        )
+        current = new_atoms
+        current_elements = out_elems
+        pending_reductions = [dim for dim in pending_reductions if dim.uid not in eliminated]
+
+    # Remaining reductions (none of them touch weights anymore): one stage each.
+    for dim in reduction_order:
+        if dim not in pending_reductions:
+            continue
+        participating = current + [_atom_for(dim, graph, binding)]
+        macs, kept = _count(participating)
+        eliminated = {dim.uid}
+        new_atoms = _decompose(kept, eliminated, graph, binding)
+        out_elems, _ = _count(new_atoms)
+        stages.append(
+            LoopNest(
+                name=f"reduce_{dim.name}",
+                extents=tuple(atom.extent for atom in kept),
+                macs=macs,
+                input_elements=current_elements,
+                weight_elements=0,
+                output_elements=out_elems,
+            )
+        )
+        current = new_atoms
+        current_elements = out_elems
+        pending_reductions.remove(dim)
+
+    # Final stage: produce the output if the last contraction did not already.
+    final_atoms = current + output_atoms
+    macs, kept = _count(final_atoms)
+    if current_elements != output_elements or macs != current_elements:
+        stages.append(
+            LoopNest(
+                name="epilogue",
+                extents=tuple(atom.extent for atom in kept),
+                macs=macs if macs > output_elements else output_elements,
+                input_elements=current_elements,
+                weight_elements=0,
+                output_elements=output_elements,
+            )
+        )
+    return stages
+
+
+def lower_to_loopnest(
+    operator: SynthesizedOperator,
+    binding: Mapping[Variable, int],
+    materialize: bool = True,
+    max_orderings: int = 24,
+) -> LoopNestProgram:
+    """Lower an operator to a staged loop-nest program.
+
+    With ``materialize=False`` the naive single-stage lowering is returned
+    (the ablation baseline); otherwise orderings of weight contractions and
+    residual reductions are enumerated (bounded by ``max_orderings``) and the
+    cheapest program — never worse than the naive one — is kept.
+    """
+    graph = operator.graph
+    naive_macs = graph.macs(binding)
+    parameter_count = graph.parameter_count(binding)
+    input_elements = 1
+    for size in operator.spec.input_shape:
+        input_elements *= size.evaluate(binding)
+    output_elements = 1
+    for size in operator.spec.output_shape:
+        output_elements *= size.evaluate(binding)
+
+    naive_stage = LoopNest(
+        name="naive",
+        extents=(naive_macs,),
+        macs=naive_macs,
+        input_elements=input_elements,
+        weight_elements=parameter_count,
+        output_elements=output_elements,
+    )
+    naive_program = LoopNestProgram(
+        operator_name=operator.spec.name,
+        stages=(naive_stage,),
+        naive_macs=naive_macs,
+        parameter_count=parameter_count,
+        input_elements=input_elements,
+        output_elements=output_elements,
+    )
+    if not materialize:
+        return naive_program
+
+    weight_indices = list(range(len(graph.weights)))
+    reductions = list(graph.reduction_dims)
+    weight_orders = list(itertools.permutations(weight_indices)) or [()]
+    reduction_orders = list(itertools.permutations(reductions))
+    if len(reduction_orders) > max_orderings:
+        reduction_orders = reduction_orders[:max_orderings]
+    if len(weight_orders) > max_orderings:
+        weight_orders = weight_orders[:max_orderings]
+
+    best = naive_program
+    for weight_order in weight_orders:
+        for reduction_order in reduction_orders:
+            stages = _program_for_order(operator, binding, list(weight_order), list(reduction_order))
+            program = LoopNestProgram(
+                operator_name=operator.spec.name,
+                stages=tuple(stages),
+                naive_macs=naive_macs,
+                parameter_count=parameter_count,
+                input_elements=input_elements,
+                output_elements=output_elements,
+            )
+            if program.macs < best.macs:
+                best = program
+    return best

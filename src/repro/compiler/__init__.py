@@ -1,0 +1,49 @@
+"""A simulated tensor compiler: targets, schedules, cost model and backends.
+
+The paper evaluates latency by tuning every operator with TVM MetaSchedule and
+with TorchInductor on three hardware platforms (mobile CPU, mobile GPU, A100).
+Offline we cannot run either compiler or the hardware, so this package stands
+in for them with an analytical model:
+
+* :mod:`repro.compiler.targets` — parameterized hardware descriptions of the
+  three platforms (peak throughput, bandwidth, caches, launch overheads);
+* :mod:`repro.compiler.schedule` — the schedule space (tiling, vectorization,
+  parallelization, unrolling) the tuner explores;
+* :mod:`repro.compiler.costmodel` — a roofline-style analytical model mapping
+  (loop-nest program, target, schedule) to latency;
+* :mod:`repro.compiler.backends` — the two compiler personalities: a
+  TVM-MetaSchedule-like tuning backend that searches the schedule space per
+  operator, and a TorchInductor-like template backend that is fast when an
+  operator matches one of its templates and falls back to slower pre-compiled
+  kernels otherwise (reproducing the fallback behaviour the paper observes on
+  mobile platforms).
+"""
+
+from repro.compiler.targets import HardwareTarget, MOBILE_CPU, MOBILE_GPU, A100, ALL_TARGETS
+from repro.compiler.schedule import Schedule, default_schedule, schedule_space
+from repro.compiler.costmodel import AnalyticalCostModel, StageCost
+from repro.compiler.backends import (
+    CompilerBackend,
+    InductorBackend,
+    TVMBackend,
+    TuneResult,
+    loopnest_for_slot,
+)
+
+__all__ = [
+    "HardwareTarget",
+    "MOBILE_CPU",
+    "MOBILE_GPU",
+    "A100",
+    "ALL_TARGETS",
+    "Schedule",
+    "default_schedule",
+    "schedule_space",
+    "AnalyticalCostModel",
+    "StageCost",
+    "CompilerBackend",
+    "TVMBackend",
+    "InductorBackend",
+    "TuneResult",
+    "loopnest_for_slot",
+]

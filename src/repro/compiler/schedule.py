@@ -1,0 +1,55 @@
+"""The schedule space explored by the tuning backend.
+
+A schedule decides how a loop-nest stage is implemented: the tile footprint
+kept in cache/shared memory, whether the innermost loop is vectorized, the
+unroll factor and whether outer loops are parallelized across cores or SMs.
+The analytical cost model translates these choices into achieved efficiency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One point in the schedule space."""
+
+    #: square tile edge (elements) the stage keeps resident per block of work.
+    tile: int = 32
+    #: whether the innermost loop is vectorized to the target's lanes.
+    vectorize: bool = True
+    #: unroll factor for the reduction loop.
+    unroll: int = 4
+    #: whether outer loops are parallelized across cores / SMs.
+    parallel: bool = True
+
+    def working_set_bytes(self) -> float:
+        """FP32 footprint of one tile of work (two inputs + one accumulator)."""
+        return 3 * self.tile * self.tile * 4.0
+
+    def describe(self) -> str:
+        flags = []
+        if self.vectorize:
+            flags.append("vec")
+        if self.parallel:
+            flags.append("par")
+        return f"tile{self.tile}x{self.unroll}" + ("+" + "+".join(flags) if flags else "")
+
+
+def default_schedule() -> Schedule:
+    """The schedule a non-tuning backend would pick without searching."""
+    return Schedule(tile=32, vectorize=True, unroll=4, parallel=True)
+
+
+def schedule_space(
+    tiles: tuple[int, ...] = (8, 16, 32, 64, 128),
+    unrolls: tuple[int, ...] = (1, 2, 4, 8),
+) -> Iterator[Schedule]:
+    """The grid the TVM-like tuner sweeps (vectorization/parallelism always tried)."""
+    for tile, unroll, vectorize, parallel in itertools.product(
+        tiles, unrolls, (True, False), (True, False)
+    ):
+        yield Schedule(tile=tile, vectorize=vectorize, unroll=unroll, parallel=parallel)

@@ -1,0 +1,95 @@
+"""Hardware target descriptions for the three evaluation platforms.
+
+The numbers are public datasheet figures for the devices the paper uses
+(NVIDIA Jetson Orin Nano 8 GB: 6-core Cortex-A78AE CPU and a 1024-core Ampere
+GPU; NVIDIA A100).  They parameterize the roofline cost model; only relative
+magnitudes matter for reproducing the *shape* of the paper's speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class HardwareTarget:
+    """An execution platform for the analytical cost model."""
+
+    name: str
+    #: peak FP32 throughput in GFLOP/s.
+    peak_gflops: float
+    #: sustainable memory bandwidth in GB/s.
+    memory_bandwidth_gbs: float
+    #: last-level cache (or shared-memory) capacity in KiB.
+    cache_kib: float
+    #: SIMD/warp width in FP32 lanes.
+    vector_width: int
+    #: per-kernel launch / dispatch overhead in microseconds.
+    launch_overhead_us: float
+    #: fraction of peak a well-tuned dense kernel typically achieves.
+    tuned_efficiency: float
+    #: amount of parallel work (iterations) needed to saturate the machine.
+    saturation_iterations: int
+    #: whether the device is a GPU (affects fallback behaviour of backends).
+    is_gpu: bool
+    #: throughput multiplier when INT8 arithmetic is used (quantization study).
+    int8_speedup: float = 2.0
+
+    def peak_flops(self) -> float:
+        return self.peak_gflops * 1e9
+
+    def bandwidth_bytes(self) -> float:
+        return self.memory_bandwidth_gbs * 1e9
+
+
+#: 6-core Arm Cortex-A78AE @ ~1.5 GHz with 2x128-bit NEON pipes per core.
+MOBILE_CPU = HardwareTarget(
+    name="mobile_cpu",
+    peak_gflops=70.0,
+    memory_bandwidth_gbs=34.0,
+    cache_kib=2048.0,
+    vector_width=4,
+    launch_overhead_us=2.0,
+    tuned_efficiency=0.60,
+    saturation_iterations=20_000,
+    is_gpu=False,
+    int8_speedup=2.5,
+)
+
+#: 1024-core Ampere GPU (Jetson Orin Nano), FP32 without tensor cores.
+MOBILE_GPU = HardwareTarget(
+    name="mobile_gpu",
+    peak_gflops=1280.0,
+    memory_bandwidth_gbs=68.0,
+    cache_kib=4096.0,
+    vector_width=32,
+    launch_overhead_us=12.0,
+    tuned_efficiency=0.55,
+    saturation_iterations=400_000,
+    is_gpu=True,
+    int8_speedup=2.0,
+)
+
+#: NVIDIA A100-SXM4: 19.5 TFLOP/s FP32 (tensor cores unused for FP32, as the
+#: paper notes TVM cannot use them without TF32).
+A100 = HardwareTarget(
+    name="a100",
+    peak_gflops=19500.0,
+    memory_bandwidth_gbs=1555.0,
+    cache_kib=40_960.0,
+    vector_width=32,
+    launch_overhead_us=8.0,
+    tuned_efficiency=0.65,
+    saturation_iterations=4_000_000,
+    is_gpu=True,
+    int8_speedup=2.0,
+)
+
+ALL_TARGETS: tuple[HardwareTarget, ...] = (MOBILE_CPU, MOBILE_GPU, A100)
+
+
+def target_by_name(name: str) -> HardwareTarget:
+    for target in ALL_TARGETS:
+        if target.name == name:
+            return target
+    raise KeyError(f"unknown hardware target {name!r}")

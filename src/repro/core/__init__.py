@@ -1,0 +1,56 @@
+"""Core of the reproduction: Syno's operator-synthesis machinery.
+
+This package contains the paper's primary contribution:
+
+* the fine-grained primitives defined on tensor coordinates (Table 1),
+* primitive graphs (pGraphs) that represent partial and complete operators,
+* canonicalization rules that prune redundant candidates (Section 6),
+* the shape-distance metric that guides synthesis (Section 7.1),
+* guided enumeration (Algorithm 1) and MCTS-based search (Section 7.2),
+* concrete synthesized operators with FLOPs / parameter accounting.
+"""
+
+from repro.core.primitives import (
+    Expand,
+    Merge,
+    Primitive,
+    Reduce,
+    Share,
+    Shift,
+    Split,
+    Stride,
+    Unfold,
+)
+from repro.core.pgraph import Application, Dim, DimRole, PGraph, WeightTensor
+from repro.core.operator import SynthesizedOperator, OperatorSpec
+from repro.core.shape_distance import shape_distance
+from repro.core.canonicalize import CanonicalizationEngine, default_rules
+from repro.core.enumeration import EnumerationOptions, enumerate_children, synthesize
+from repro.core.mcts import MCTS, MCTSConfig
+
+__all__ = [
+    "Primitive",
+    "Split",
+    "Merge",
+    "Shift",
+    "Expand",
+    "Unfold",
+    "Stride",
+    "Reduce",
+    "Share",
+    "Dim",
+    "DimRole",
+    "Application",
+    "WeightTensor",
+    "PGraph",
+    "OperatorSpec",
+    "SynthesizedOperator",
+    "shape_distance",
+    "CanonicalizationEngine",
+    "default_rules",
+    "EnumerationOptions",
+    "enumerate_children",
+    "synthesize",
+    "MCTS",
+    "MCTSConfig",
+]

@@ -1,0 +1,218 @@
+"""Canonicalization rules that prune redundant operator candidates (Section 6).
+
+The rules are checked *on the fly*: before a primitive is applied to a partial
+pGraph the engine decides whether the resulting graph would be canonical.  A
+non-canonical graph is never generated, so the search never wastes samples on
+candidates that a tensor compiler would consider equivalent (or nearly
+equivalent) to another candidate.
+
+The rule set mirrors the paper:
+
+* ``Merge`` may not be applied above a ``Split`` (Figure 3a) and may not undo
+  the ``Split`` it follows;
+* 1-to-1 views are pushed below (i.e. applied before) commuting contractions
+  (Figure 3b), and more generally adjacent commuting applications must appear
+  in a canonical order;
+* ``Expand`` may not be combined with ``Reduce`` (it would only scale the
+  result);
+* ``Unfold`` may involve at most one reduction coordinate;
+* approximate-simplification: ``Merge`` is not applied to the result of an
+  ``Unfold`` (Figure 3c);
+* ``Shift`` chains are collapsed (a ``Shift`` may not follow a ``Shift`` on
+  the same coordinate);
+* weight tensors receive coordinates only through ``Share`` (structural).
+
+The engine is extensible: new rules are plain callables and can be added by
+client code, as the paper advertises for Syno.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.pgraph import Application, Dim, PGraph
+from repro.core.primitives import (
+    Expand,
+    Merge,
+    Primitive,
+    Reduce,
+    Share,
+    Shift,
+    Split,
+    Stride,
+    Unfold,
+)
+
+#: A canonicalization rule: returns True when the proposed application is
+#: canonical (allowed), False when it must be pruned.
+Rule = Callable[[PGraph, Primitive, Sequence[Dim]], bool]
+
+
+def _producer_of(graph: PGraph, dim: Dim) -> Application | None:
+    """The application that produced ``dim``, or None for output dims."""
+    for app in graph.applications:
+        if dim in app.produced:
+            return app
+    return None
+
+
+def no_merge_above_split(graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+    """A ``Merge`` may not transform a coordinate produced by a ``Split``.
+
+    ``Split`` then ``Merge`` is always expressible in the simpler opposite
+    order (Figure 3a), so only the latter is canonical.
+    """
+    if not isinstance(primitive, Merge):
+        return True
+    producer = _producer_of(graph, operands[0])
+    return not (producer is not None and isinstance(producer.primitive, Split))
+
+
+def no_split_undoing_merge(graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+    """A ``Split`` may not recombine exactly the two dims of one ``Merge``."""
+    if not isinstance(primitive, Split):
+        return True
+    producer = _producer_of(graph, operands[0])
+    if producer is None or not isinstance(producer.primitive, Merge):
+        return True
+    return tuple(operands) != producer.produced
+
+
+def no_merge_above_unfold(graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+    """Approximate simplification (Figure 3c): don't ``Merge`` an unfolded dim.
+
+    When the block size is much larger than the window, ``Merge`` above
+    ``Unfold`` is almost everywhere equal to the form with the ``Merge``
+    below, so only the latter is kept.
+    """
+    if not isinstance(primitive, Merge):
+        return True
+    producer = _producer_of(graph, operands[0])
+    return not (producer is not None and isinstance(producer.primitive, Unfold))
+
+
+def no_shift_chains(graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+    """Consecutive ``Shift``s of the same coordinate collapse to one."""
+    if not isinstance(primitive, Shift):
+        return True
+    producer = _producer_of(graph, operands[0])
+    return not (producer is not None and isinstance(producer.primitive, Shift))
+
+
+def no_expand_of_reduction(graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+    """``Expand`` + ``Reduce`` only multiplies the result by a constant.
+
+    The exception is a reduction coordinate that has been ``Share``d onto at
+    least one weight tensor: then the reduction contracts the weights (the
+    low-rank pattern the paper observes in its discovered operators), so
+    dropping it from the data path is meaningful.
+    """
+    if not isinstance(primitive, Expand):
+        return True
+    (dim,) = operands
+    if not dim.is_reduction:
+        return True
+    for weight in graph.weights:
+        if any(wdim.identified_with is dim for wdim in weight.dims):
+            return True
+    return False
+
+
+def unfold_single_reduction(graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+    """``Unfold`` allows at most one of its coordinates to be a reduction."""
+    if not isinstance(primitive, Unfold):
+        return True
+    return sum(1 for dim in operands if dim.is_reduction) <= 1
+
+
+def stride_paired_with_one_to_many(
+    graph: PGraph, primitive: Primitive, operands: Sequence[Dim]
+) -> bool:
+    """``Stride`` discards elements, so it must be paired with a 1-to-many view."""
+    if not isinstance(primitive, Stride):
+        return True
+    one_to_many = graph.count_primitive(Unfold) + graph.count_primitive(Expand)
+    strides = graph.count_primitive(Stride)
+    return strides < one_to_many + 1  # allow one Stride "in flight"
+
+
+def share_matches_move_non_reductions(
+    graph: PGraph, primitive: Primitive, operands: Sequence[Dim]
+) -> bool:
+    """Matched dims moved onto a weight must not be reduction coordinates.
+
+    A reduction coordinate appearing only on a weight would sum the weight
+    offline, which a compiler folds away — such candidates are redundant.
+    """
+    if not isinstance(primitive, Share):
+        return True
+    return not any(dim.is_reduction for dim in operands[1:])
+
+
+def _application_key(primitive: Primitive, operands: Sequence[Dim]) -> tuple:
+    """Total order on applications used to canonicalize commuting neighbours."""
+    if primitive.is_view and not primitive.is_one_to_many and not isinstance(primitive, Stride):
+        priority = 0  # 1-to-1 views come first (pushed below contractions)
+    elif primitive.is_view:
+        priority = 1
+    else:
+        priority = 2  # contractions last
+    min_uid = min((dim.uid for dim in operands), default=-1)
+    return (priority, type(primitive).__name__, min_uid)
+
+
+def _commutes_with_last(graph: PGraph, operands: Sequence[Dim]) -> bool:
+    last = graph.last_application
+    if last is None:
+        return False
+    touched = set(last.produced) | set(last.weight_dims)
+    return not any(dim in touched for dim in operands)
+
+
+def canonical_commuting_order(
+    graph: PGraph, primitive: Primitive, operands: Sequence[Dim]
+) -> bool:
+    """Adjacent commuting applications must appear in a fixed canonical order.
+
+    If the proposed application does not touch anything the previous
+    application produced, the two could be swapped without changing the
+    operator; we keep only the ordering where the smaller key comes first.
+    In particular this pushes 1-to-1 views below contractions (Figure 3b).
+    """
+    last = graph.last_application
+    if last is None or not _commutes_with_last(graph, operands):
+        return True
+    last_key = _application_key(last.primitive, last.consumed or last.produced)
+    new_key = _application_key(primitive, operands)
+    return new_key >= last_key
+
+
+def default_rules() -> list[Rule]:
+    """The paper's rule set, in the order they are checked."""
+    return [
+        no_merge_above_split,
+        no_split_undoing_merge,
+        no_merge_above_unfold,
+        no_shift_chains,
+        no_expand_of_reduction,
+        unfold_single_reduction,
+        stride_paired_with_one_to_many,
+        share_matches_move_non_reductions,
+        canonical_commuting_order,
+    ]
+
+
+@dataclass
+class CanonicalizationEngine:
+    """Applies a configurable list of canonicalization rules."""
+
+    rules: list[Rule] = field(default_factory=default_rules)
+
+    def is_canonical(self, graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+        """Whether applying ``primitive`` to ``operands`` keeps the graph canonical."""
+        return all(rule(graph, primitive, operands) for rule in self.rules)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Register an additional user-defined rule (the paper's extensibility)."""
+        self.rules.append(rule)

@@ -1,0 +1,286 @@
+"""Guided bottom-up enumeration of operator candidates (Algorithm 1).
+
+``enumerate_children`` lists every canonical primitive application available
+from a partial pGraph; ``synthesize`` performs the depth-bounded guided DFS of
+Algorithm 1, backtracking whenever the shape distance exceeds the remaining
+primitive budget and collecting complete operators that satisfy the
+user-provided budgets (FLOPs, parameters, primitive counts).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.core.canonicalize import CanonicalizationEngine
+from repro.core.operator import OperatorSpec, SynthesizedOperator
+from repro.core.pgraph import Dim, PGraph
+from repro.core.primitives import (
+    Expand,
+    Merge,
+    Primitive,
+    PrimitiveError,
+    Reduce,
+    Share,
+    Shift,
+    Split,
+    Stride,
+    Unfold,
+)
+from repro.core.shape_distance import shape_distance
+from repro.ir.size import Size
+from repro.ir.variables import Variable
+
+
+@dataclass(frozen=True)
+class Action:
+    """A candidate primitive application, identified structurally.
+
+    Actions are hashable so that MCTS can use them as tree-edge keys.
+    """
+
+    primitive: Primitive
+    operand_uids: tuple[int, ...]
+
+    def describe(self) -> str:
+        return f"{self.primitive.describe()}@{self.operand_uids}"
+
+
+@dataclass
+class EnumerationOptions:
+    """Budgets and knobs controlling the synthesis space."""
+
+    #: maximum number of primitives per operator (d_max in Algorithm 1).
+    max_depth: int = 8
+    #: sizes allowed as Reduce domains (reduction loop extents).
+    reduce_sizes: list[Size] = field(default_factory=list)
+    #: sizes allowed as Merge block sizes.
+    merge_blocks: list[Size] = field(default_factory=list)
+    #: sizes allowed as Stride factors.
+    strides: list[Size] = field(default_factory=list)
+    #: occurrence limits for the low-quality primitives (Section 5.2).
+    max_expands: int = 1
+    max_strides: int = 1
+    max_shifts: int = 2
+    max_reductions: int = 4
+    max_weights: int = 2
+    max_weight_dims: int = 5
+    #: hard MACs budget relative to the original operator (Section 7.2).
+    max_macs: int | None = None
+    #: hard parameter budget.
+    max_params: int | None = None
+    #: binding used to evaluate the budgets.
+    budget_binding: Mapping[Variable, int] | None = None
+    #: canonicalization engine (None disables canonicalization — used by the
+    #: Table 3 ablation).
+    canonicalizer: CanonicalizationEngine | None = field(default_factory=CanonicalizationEngine)
+    #: use shape-distance guidance (disabled for the Section 9.4 ablation).
+    use_shape_distance: bool = True
+
+    def allows(self, graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
+        """Occurrence-limit and canonicalization checks for one application."""
+        if isinstance(primitive, Expand) and graph.count_primitive(Expand) >= self.max_expands:
+            return False
+        if isinstance(primitive, Stride) and graph.count_primitive(Stride) >= self.max_strides:
+            return False
+        if isinstance(primitive, Shift) and graph.count_primitive(Shift) >= self.max_shifts:
+            return False
+        if isinstance(primitive, Reduce) and graph.count_primitive(Reduce) >= self.max_reductions:
+            return False
+        if isinstance(primitive, Share):
+            total_weight_dims = sum(len(w.dims) for w in graph.weights)
+            if total_weight_dims + len(operands) > self.max_weight_dims:
+                return False
+            if primitive.new_weight and len(graph.weights) >= self.max_weights:
+                return False
+        if self.canonicalizer is not None and not self.canonicalizer.is_canonical(
+            graph, primitive, operands
+        ):
+            return False
+        return True
+
+    def within_budgets(self, graph: PGraph) -> bool:
+        """Whether a (complete) graph satisfies the MACs / parameter budgets."""
+        binding = self.budget_binding or {}
+        if self.max_macs is not None and graph.macs(binding) > self.max_macs:
+            return False
+        if self.max_params is not None and graph.parameter_count(binding) > self.max_params:
+            return False
+        return True
+
+
+def default_options_for(
+    spec: OperatorSpec,
+    coefficients: Sequence[Size | Variable | int] = (),
+    max_depth: int = 8,
+    macs_budget_ratio: float | None = None,
+    reference_macs: int | None = None,
+) -> EnumerationOptions:
+    """Construct sensible enumeration options for an operator spec.
+
+    ``coefficients`` are the small sizes made available to Reduce / Merge /
+    Stride (the paper's coefficient variables); output-shape primary sizes are
+    additionally offered as Reduce domains so that contractions over e.g.
+    ``C_in`` are expressible.
+    """
+    coefficient_sizes = [Size.of(c) for c in coefficients]
+    primary_sizes = [Size.of(s) for s in spec.input_shape]
+    # Dedupe by structural representation while keeping Size objects.
+    seen: dict[str, Size] = {}
+    for size in coefficient_sizes + primary_sizes:
+        seen.setdefault(repr(size), size)
+    options = EnumerationOptions(
+        max_depth=max_depth,
+        reduce_sizes=list(seen.values()),
+        merge_blocks=list(coefficient_sizes),
+        strides=list(coefficient_sizes),
+        budget_binding=dict(spec.bindings[0]) if spec.bindings else None,
+    )
+    if macs_budget_ratio is not None and reference_macs is not None:
+        options.max_macs = int(reference_macs * macs_budget_ratio)
+    return options
+
+
+# ---------------------------------------------------------------------------
+# Child enumeration
+# ---------------------------------------------------------------------------
+
+
+def _candidate_applications(
+    graph: PGraph, options: EnumerationOptions
+) -> Iterator[tuple[Primitive, tuple[Dim, ...]]]:
+    frontier = graph.frontier
+
+    # Contractions -----------------------------------------------------
+    for size in options.reduce_sizes:
+        yield Reduce(size=size), ()
+    for shared in frontier:
+        # Plain share (weight indexed by one coordinate).
+        yield Share(new_weight=True), (shared,)
+        yield Share(new_weight=False), (shared,)
+        # Share + Match: move one other output dim onto the weight.
+        for matched in frontier:
+            if matched is shared or not matched.is_output:
+                continue
+            yield Share(new_weight=True), (shared, matched)
+            yield Share(new_weight=False), (shared, matched)
+
+    # 1-to-1 views -------------------------------------------------------
+    for dim in frontier:
+        for block in options.merge_blocks:
+            if block.divides(dim.size) and not (dim.size / block).is_one:
+                yield Merge(block=block), (dim,)
+        yield Shift(amount=1), (dim,)
+    for major in frontier:
+        for minor in frontier:
+            if major is not minor:
+                yield Split(), (major, minor)
+
+    # 1-to-many / many-to-1 views ----------------------------------------
+    for dim in frontier:
+        yield Expand(), (dim,)
+        for stride in options.strides:
+            if not stride.is_one:
+                yield Stride(stride=stride), (dim,)
+    for main in frontier:
+        for window in frontier:
+            if main is window:
+                continue
+            if window.size.primary_variables():
+                continue
+            yield Unfold(), (main, window)
+
+
+def enumerate_children(
+    graph: PGraph, options: EnumerationOptions
+) -> list[tuple[Action, PGraph]]:
+    """All canonical one-primitive extensions of a partial pGraph."""
+    children: list[tuple[Action, PGraph]] = []
+    seen_signatures: set[str] = set()
+    for primitive, operands in _candidate_applications(graph, options):
+        if not options.allows(graph, primitive, operands):
+            continue
+        try:
+            child = primitive.apply(graph, operands)
+        except PrimitiveError:
+            continue
+        signature = child.signature()
+        if signature in seen_signatures:
+            continue
+        seen_signatures.add(signature)
+        action = Action(primitive=primitive, operand_uids=tuple(d.uid for d in operands))
+        children.append((action, child))
+    return children
+
+
+# ---------------------------------------------------------------------------
+# Guided DFS (Algorithm 1, SynthesizeSubstitutions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SynthesisStats:
+    """Bookkeeping for a synthesis run (used by the ablation experiments)."""
+
+    nodes_visited: int = 0
+    children_generated: int = 0
+    pruned_by_distance: int = 0
+    completed: int = 0
+    rejected_by_budget: int = 0
+
+
+def synthesize(
+    spec: OperatorSpec,
+    options: EnumerationOptions,
+    max_results: int = 64,
+    max_nodes: int = 20000,
+    rng: random.Random | None = None,
+    on_complete: Callable[[SynthesizedOperator], None] | None = None,
+) -> tuple[list[SynthesizedOperator], SynthesisStats]:
+    """Depth-bounded guided DFS collecting complete, budget-satisfying operators.
+
+    The traversal order is randomized (when ``rng`` is provided) so repeated
+    calls explore different corners of the space, mirroring the stochastic
+    sampling the paper layers MCTS on top of.
+    """
+    stats = SynthesisStats()
+    results: list[SynthesizedOperator] = []
+    root = PGraph.root(spec.output_shape, spec.input_shape)
+
+    def visit(graph: PGraph) -> None:
+        if len(results) >= max_results or stats.nodes_visited >= max_nodes:
+            return
+        stats.nodes_visited += 1
+
+        if graph.is_complete and graph.depth > 0:
+            if options.within_budgets(graph):
+                operator = SynthesizedOperator.from_graph(graph, spec)
+                results.append(operator)
+                stats.completed += 1
+                if on_complete is not None:
+                    on_complete(operator)
+            else:
+                stats.rejected_by_budget += 1
+            return
+
+        if graph.depth >= options.max_depth:
+            return
+
+        children = enumerate_children(graph, options)
+        stats.children_generated += len(children)
+        if rng is not None:
+            rng.shuffle(children)
+        remaining = options.max_depth - graph.depth - 1
+        for _, child in children:
+            if len(results) >= max_results or stats.nodes_visited >= max_nodes:
+                return
+            if options.use_shape_distance:
+                distance = shape_distance(child.frontier_shape, child.input_shape)
+                if distance > remaining:
+                    stats.pruned_by_distance += 1
+                    continue
+            visit(child)
+
+    visit(root)
+    return results, stats

@@ -1,0 +1,292 @@
+"""A library of operators expressed as pGraphs.
+
+This module reconstructs, from the paper's own primitives, the reference
+operators of Table 2 and Figure 2 (matmul, average pooling, pixel shuffle,
+2-D convolution) as well as the two case-study operators of Section 9.2
+(Operator 1 from Figure 7 / Listing 2, and the Operator 2 variant).  They are
+used by the tests (to validate primitive semantics against direct numpy
+references), by the examples, and by the benchmark harness as Syno-discovered
+substitutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.operator import OperatorSpec, SynthesizedOperator
+from repro.core.pgraph import Dim, PGraph
+from repro.core.primitives import Expand, Merge, Reduce, Share, Shift, Split, Unfold
+from repro.ir.shape import ShapeSpec
+from repro.ir.size import Size
+from repro.ir.variables import Variable, coefficient, primary
+
+
+# Shared primary variables used by the vision operator slots.
+N = primary("N")
+C_IN = primary("C_in")
+C_OUT = primary("C_out")
+H = primary("H")
+W = primary("W")
+M = primary("M")
+K = primary("K")
+OUT_FEATURES = primary("F")
+
+# Coefficient variables used by the synthesized operators.
+K1 = coefficient("k_1", default=3)
+GROUPS = coefficient("g", default=4)
+SHRINK = coefficient("s", default=2)
+POOL = coefficient("p", default=2)
+BLOCK = coefficient("b", default=2)
+
+
+def _find(graph: PGraph, name: str) -> Dim:
+    for dim in graph.frontier:
+        if dim.name == name:
+            return dim
+    raise KeyError(f"no frontier dim named {name}: {[d.name for d in graph.frontier]}")
+
+
+def _last_produced(graph: PGraph) -> Dim:
+    last = graph.last_application
+    assert last is not None and last.produced, "last application produced nothing"
+    return last.produced[-1]
+
+
+# ---------------------------------------------------------------------------
+# Reference operators (Table 2 / Figure 2)
+# ---------------------------------------------------------------------------
+
+
+def matmul_spec(bindings: tuple[Mapping[Variable, int], ...] = ()) -> OperatorSpec:
+    """The matmul slot: ``[M, K] -> [M, F]`` (``F`` is the output features)."""
+    return OperatorSpec(
+        name="matmul",
+        input_shape=ShapeSpec.of([M, K]),
+        output_shape=ShapeSpec.of([M, OUT_FEATURES]),
+        bindings=bindings,
+    )
+
+
+def build_matmul(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """``out(i, j) += input(i, k) * weight(k, j)`` (Table 2, first row)."""
+    spec = spec or matmul_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_M", "i_F"])
+    graph = Reduce(size=Size.of(K)).apply(graph, ())
+    r_k = _last_produced(graph)
+    graph = Share(new_weight=True).apply(graph, (r_k, _find(graph, "i_F")))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def conv2d_spec(bindings: tuple[Mapping[Variable, int], ...] = ()) -> OperatorSpec:
+    """The 2-D convolution slot: ``[N, C_in, H, W] -> [N, C_out, H, W]``."""
+    return OperatorSpec(
+        name="conv2d",
+        input_shape=ShapeSpec.of([N, C_IN, H, W]),
+        output_shape=ShapeSpec.of([N, C_OUT, H, W]),
+        bindings=bindings,
+    )
+
+
+def build_conv2d(spec: OperatorSpec | None = None, kernel: Variable = K1) -> SynthesizedOperator:
+    """The standard (same-padded) 2-D convolution as a pGraph (Figure 2)."""
+    spec = spec or conv2d_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_N", "i_Co", "i_H", "i_W"])
+    graph = Reduce(size=Size.of(C_IN)).apply(graph, ())
+    r_ci = _last_produced(graph)
+    graph = Reduce(size=Size.of(kernel)).apply(graph, ())
+    r_kh = _last_produced(graph)
+    graph = Reduce(size=Size.of(kernel)).apply(graph, ())
+    r_kw = _last_produced(graph)
+    graph = Share(new_weight=True).apply(graph, (r_ci, _find(graph, "i_Co")))
+    graph = Share(new_weight=False).apply(graph, (r_kh,))
+    graph = Share(new_weight=False).apply(graph, (r_kw,))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), r_kh))
+    graph = Unfold().apply(graph, (_find(graph, "i_W"), r_kw))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def avgpool_spec(bindings: tuple[Mapping[Variable, int], ...] = ()) -> OperatorSpec:
+    """1-D sum pooling with window/stride ``p``: ``[H] -> [H/p]``."""
+    return OperatorSpec(
+        name="avgpool1d",
+        input_shape=ShapeSpec.of([H]),
+        output_shape=ShapeSpec.of([Size.of(H) / POOL]),
+        bindings=bindings,
+    )
+
+
+def build_avgpool(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """Sum pooling (Table 2, second row; the 1/p scale is a free constant)."""
+    spec = spec or avgpool_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_H"])
+    graph = Reduce(size=Size.of(POOL)).apply(graph, ())
+    r_p = _last_produced(graph)
+    graph = Split().apply(graph, (_find(graph, "i_H"), r_p))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def pixelshuffle_spec(bindings: tuple[Mapping[Variable, int], ...] = ()) -> OperatorSpec:
+    """Pixel shuffle on one dimension: ``[H] -> [H]`` with block ``b``."""
+    return OperatorSpec(
+        name="pixelshuffle",
+        input_shape=ShapeSpec.of([H]),
+        output_shape=ShapeSpec.of([H]),
+        bindings=bindings,
+    )
+
+
+def build_pixelshuffle(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """``out(i) = input((H/B) * (i % B) + i / B)`` (Table 2, third row)."""
+    spec = spec or pixelshuffle_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_H"])
+    graph = Merge(block=Size.of(BLOCK)).apply(graph, (_find(graph, "i_H"),))
+    outer, inner = graph.last_application.produced
+    graph = Split().apply(graph, (inner, outer))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+# ---------------------------------------------------------------------------
+# Case-study operators (Section 9.2)
+# ---------------------------------------------------------------------------
+
+
+def build_operator1(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """Operator 1 (Figure 7 / Listing 2): a two-stage grouped-convolution-like op.
+
+    Semantics (matching Listing 2 after the materialized-reduction view)::
+
+        out[n, d, h, w] = sum_{j2, e, gg, j1, c}
+            w2[d, j2, e, gg, j1] * w1[e, gg, c, j1]
+            * x[n, gg * (C_in/g) + c, h + j2 - k1/2, w + j1 - k1/2]
+
+    The distinguishing pattern (italicized in the paper's Figure 7) is the
+    window coordinate ``j1`` that is Shared by *both* weights and passed to
+    the second stage instead of being reduced within the first stage.
+    """
+    spec = spec or conv2d_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_N", "i_Co", "i_H", "i_W"])
+    cin_per_group = Size.of(C_IN) / GROUPS
+    bottleneck = Size.of(C_OUT) / (Size.of(GROUPS) * Size.of(SHRINK))
+
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    j1 = _last_produced(graph)
+    graph = Reduce(size=cin_per_group).apply(graph, ())
+    c_inner = _last_produced(graph)
+    graph = Reduce(size=Size.of(GROUPS)).apply(graph, ())
+    gg = _last_produced(graph)
+    graph = Reduce(size=bottleneck).apply(graph, ())
+    e = _last_produced(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    j2 = _last_produced(graph)
+
+    # Stage-1 weight w1[e, gg, c, j1]  (the paper's [C_out//g//s, C_in, k_1]).
+    graph = Share(new_weight=True).apply(graph, (e,))
+    graph = Share(new_weight=False).apply(graph, (gg,))
+    graph = Share(new_weight=False).apply(graph, (c_inner,))
+    graph = Share(new_weight=False).apply(graph, (j1,))
+    # Stage-2 weight w2[j2, C_out, e, gg, j1]  (the paper's [C_out, k1*k1*C_out//s]).
+    graph = Share(new_weight=True).apply(graph, (j2, _find(graph, "i_Co")))
+    graph = Share(new_weight=False).apply(graph, (e,))
+    graph = Share(new_weight=False).apply(graph, (gg,))
+    graph = Share(new_weight=False).apply(graph, (j1,))
+
+    # The bottleneck coordinate lives only on the weights (low-rank pattern).
+    graph = Expand().apply(graph, (e,))
+    # Reassemble the input channel coordinate and the two unfolded windows.
+    graph = Split().apply(graph, (gg, c_inner))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), j2))
+    graph = Unfold().apply(graph, (_find(graph, "i_W"), j1))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def build_operator2(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """Operator 2: two 1-D convolutions whose weights Share the channel coordinate.
+
+    Semantics::
+
+        out[n, co, h, w] = sum_{ci, j1, j2}
+            w1[ci, co, j1] * w2[ci, j2]
+            * x[n, ci, h + j1 - k/2, w + j2 - k/2]
+
+    Parameter count is roughly ``1/k`` of a standard ``k x k`` convolution,
+    reproducing the paper's "fewer than 1/4 of standard 2D convolution"
+    property that makes it fit small edge-device caches.
+    """
+    spec = spec or conv2d_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_N", "i_Co", "i_H", "i_W"])
+    graph = Reduce(size=Size.of(C_IN)).apply(graph, ())
+    r_ci = _last_produced(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    j1 = _last_produced(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    j2 = _last_produced(graph)
+    graph = Share(new_weight=True).apply(graph, (r_ci, _find(graph, "i_Co")))
+    graph = Share(new_weight=False).apply(graph, (j1,))
+    graph = Share(new_weight=True).apply(graph, (r_ci,))
+    graph = Share(new_weight=False).apply(graph, (j2,))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), j1))
+    graph = Unfold().apply(graph, (_find(graph, "i_W"), j2))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def build_shift_conv(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """A ShiftNet-like operator: Shift along W replaces one spatial Unfold.
+
+    This reproduces the "common pattern" the paper reports where an ``Unfold``
+    on a spatial dimension is replaced with a ``Shift``, mixing information
+    along that dimension at zero FLOP cost.
+    """
+    spec = spec or conv2d_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_N", "i_Co", "i_H", "i_W"])
+    graph = Reduce(size=Size.of(C_IN)).apply(graph, ())
+    r_ci = _last_produced(graph)
+    graph = Reduce(size=Size.of(K1)).apply(graph, ())
+    j1 = _last_produced(graph)
+    graph = Share(new_weight=True).apply(graph, (r_ci, _find(graph, "i_Co")))
+    graph = Share(new_weight=False).apply(graph, (j1,))
+    graph = Shift(amount=1).apply(graph, (_find(graph, "i_W"),))
+    graph = Unfold().apply(graph, (_find(graph, "i_H"), j1))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+def build_grouped_projection(spec: OperatorSpec | None = None) -> SynthesizedOperator:
+    """A grouped dense projection (the GPT-2 QKV substitution of Section 9.3).
+
+    The output features are partitioned into ``g`` groups and each group reads
+    only its own slice of the input features, so the QKV matrices "learn from
+    different features of input tokens" with ``1/g`` of the FLOPs/parameters.
+    """
+    spec = spec or matmul_spec()
+    graph = PGraph.root(spec.output_shape, spec.input_shape, output_names=["i_M", "i_F"])
+    graph = Merge(block=Size.of(OUT_FEATURES) / GROUPS).apply(graph, (_find(graph, "i_F"),))
+    g_dim, f_inner = graph.last_application.produced
+    graph = Reduce(size=Size.of(K) / GROUPS).apply(graph, ())
+    k_inner = _last_produced(graph)
+    graph = Share(new_weight=True).apply(graph, (k_inner, f_inner))
+    graph = Share(new_weight=False).apply(graph, (g_dim,))
+    graph = Split().apply(graph, (g_dim, k_inner))
+    return SynthesizedOperator.from_graph(graph, spec)
+
+
+@dataclass(frozen=True)
+class NamedOperator:
+    """A named entry of the operator library (used by experiments)."""
+
+    name: str
+    build: object
+
+    def __call__(self, spec: OperatorSpec | None = None) -> SynthesizedOperator:
+        return self.build(spec)  # type: ignore[operator]
+
+
+LIBRARY: dict[str, NamedOperator] = {
+    "matmul": NamedOperator("matmul", build_matmul),
+    "conv2d": NamedOperator("conv2d", build_conv2d),
+    "avgpool1d": NamedOperator("avgpool1d", build_avgpool),
+    "pixelshuffle": NamedOperator("pixelshuffle", build_pixelshuffle),
+    "operator1": NamedOperator("operator1", build_operator1),
+    "operator2": NamedOperator("operator2", build_operator2),
+    "shift_conv": NamedOperator("shift_conv", build_shift_conv),
+    "grouped_projection": NamedOperator("grouped_projection", build_grouped_projection),
+}

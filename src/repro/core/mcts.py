@@ -1,0 +1,179 @@
+"""Monte Carlo Tree Search over the primitive-application space (Section 7.2).
+
+The synthesis problem is formulated as a Markov decision process: states are
+partial pGraphs, actions are canonical primitive applications, terminal states
+are complete pGraphs within budget.  The reward of a terminal state is
+supplied by an evaluator (typically: proxy training accuracy of the backbone
+model with the candidate operator substituted in, see
+:mod:`repro.search.evaluator`); invalid rollouts receive zero reward.
+
+The implementation is a standard UCT tree search with random rollouts that are
+*guided* by the shape-distance metric, mirroring the paper's combination of
+stochastic tree search and guided synthesis.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.enumeration import Action, EnumerationOptions, enumerate_children
+from repro.core.operator import OperatorSpec, SynthesizedOperator
+from repro.core.pgraph import PGraph
+from repro.core.shape_distance import shape_distance
+
+#: Reward function over complete operators; should return a value in [0, 1].
+RewardFn = Callable[[SynthesizedOperator], float]
+
+
+@dataclass
+class MCTSConfig:
+    """Hyper-parameters of the tree search."""
+
+    iterations: int = 200
+    exploration: float = 1.0
+    rollout_depth: int | None = None  # defaults to options.max_depth
+    seed: int = 0
+    #: maximum number of children to expand per node (limits branching).
+    max_children: int = 64
+
+
+class _Node:
+    """One node of the MCTS tree (a partial pGraph)."""
+
+    __slots__ = ("graph", "parent", "children", "untried", "visits", "total_reward", "action")
+
+    def __init__(self, graph: PGraph, parent: "_Node | None", action: Action | None):
+        self.graph = graph
+        self.parent = parent
+        self.action = action
+        self.children: list[_Node] = []
+        self.untried: list[tuple[Action, PGraph]] | None = None
+        self.visits = 0
+        self.total_reward = 0.0
+
+    @property
+    def mean_reward(self) -> float:
+        return self.total_reward / self.visits if self.visits else 0.0
+
+    def uct_score(self, exploration: float) -> float:
+        if self.visits == 0:
+            return math.inf
+        assert self.parent is not None
+        return self.mean_reward + exploration * math.sqrt(
+            math.log(self.parent.visits + 1) / self.visits
+        )
+
+
+@dataclass
+class SampleRecord:
+    """One evaluated terminal sample (the paper records all MCTS samples)."""
+
+    operator: SynthesizedOperator
+    reward: float
+    iteration: int
+
+
+@dataclass
+class MCTS:
+    """UCT search for high-reward operators under a FLOPs budget."""
+
+    spec: OperatorSpec
+    options: EnumerationOptions
+    reward_fn: RewardFn
+    config: MCTSConfig = field(default_factory=MCTSConfig)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.config.seed)
+        self._root = _Node(PGraph.root(self.spec.output_shape, self.spec.input_shape), None, None)
+        self.samples: list[SampleRecord] = []
+        self._evaluated: dict[str, float] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, iterations: int | None = None) -> list[SampleRecord]:
+        """Run the search and return all evaluated samples (best first)."""
+        iterations = iterations if iterations is not None else self.config.iterations
+        for iteration in range(iterations):
+            node = self._select(self._root)
+            node = self._expand(node)
+            reward = self._rollout(node, iteration)
+            self._backpropagate(node, reward)
+        return self.best_samples()
+
+    def best_samples(self, top_k: int | None = None) -> list[SampleRecord]:
+        ordered = sorted(self.samples, key=lambda record: record.reward, reverse=True)
+        return ordered if top_k is None else ordered[:top_k]
+
+    def best_operator(self) -> SynthesizedOperator | None:
+        samples = self.best_samples(1)
+        return samples[0].operator if samples else None
+
+    # -- MCTS phases -------------------------------------------------------
+
+    def _select(self, node: _Node) -> _Node:
+        while True:
+            if node.untried is None or node.untried:
+                return node
+            if not node.children:
+                return node
+            node = max(node.children, key=lambda child: child.uct_score(self.config.exploration))
+
+    def _expand(self, node: _Node) -> _Node:
+        if node.graph.depth >= self.options.max_depth or (
+            node.graph.is_complete and node.graph.depth > 0
+        ):
+            return node
+        if node.untried is None:
+            children = enumerate_children(node.graph, self.options)
+            children = self._prune_by_distance(node.graph, children)
+            self._rng.shuffle(children)
+            node.untried = children[: self.config.max_children]
+        if not node.untried:
+            return node
+        action, graph = node.untried.pop()
+        child = _Node(graph, node, action)
+        node.children.append(child)
+        return child
+
+    def _prune_by_distance(
+        self, graph: PGraph, children: list[tuple[Action, PGraph]]
+    ) -> list[tuple[Action, PGraph]]:
+        if not self.options.use_shape_distance:
+            return children
+        remaining = self.options.max_depth - graph.depth - 1
+        return [
+            (action, child)
+            for action, child in children
+            if shape_distance(child.frontier_shape, child.input_shape) <= remaining
+        ]
+
+    def _rollout(self, node: _Node, iteration: int) -> float:
+        graph = node.graph
+        depth_limit = self.config.rollout_depth or self.options.max_depth
+        while not (graph.is_complete and graph.depth > 0):
+            if graph.depth >= depth_limit:
+                return 0.0
+            children = enumerate_children(graph, self.options)
+            children = self._prune_by_distance(graph, children)
+            if not children:
+                return 0.0
+            _, graph = self._rng.choice(children)
+        if not self.options.within_budgets(graph):
+            return 0.0
+        operator = SynthesizedOperator.from_graph(graph, self.spec)
+        signature = graph.signature()
+        if signature in self._evaluated:
+            return self._evaluated[signature]
+        reward = float(self.reward_fn(operator))
+        self._evaluated[signature] = reward
+        self.samples.append(SampleRecord(operator=operator, reward=reward, iteration=iteration))
+        return reward
+
+    def _backpropagate(self, node: _Node | None, reward: float) -> None:
+        while node is not None:
+            node.visits += 1
+            node.total_reward += reward
+            node = node.parent

@@ -1,0 +1,33 @@
+"""One module per table/figure of the paper's evaluation (Section 9).
+
+Every module exposes a ``run(...)`` function returning plain dataclasses /
+dictionaries; the pytest-benchmark harness under ``benchmarks/`` and the
+example scripts call these functions and print the same rows/series the paper
+reports.  See EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation_materialization,
+    ablation_shape_distance,
+    alphanas_comparison,
+    common,
+    figure5,
+    figure6,
+    figure8,
+    figure9,
+    figure10,
+    table3,
+)
+
+__all__ = [
+    "common",
+    "figure5",
+    "figure6",
+    "figure8",
+    "figure9",
+    "figure10",
+    "table3",
+    "ablation_shape_distance",
+    "ablation_materialization",
+    "alphanas_comparison",
+]

@@ -1,0 +1,116 @@
+"""Figure 6: accuracy-vs-latency Pareto curves on ImageNet.
+
+For every model the paper plots the baseline (hollow point) and the Syno
+candidates' (accuracy, inference time) points, per target and compiler.
+Accuracy here comes from training the tiny backbone instances on the
+synthetic ImageNet-proxy task (more classes / samples than the CIFAR-proxy
+used during search); latency comes from the ImageNet-scale layer profiles.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.compiler.backends import TVMBackend
+from repro.compiler.targets import A100, HardwareTarget
+from repro.experiments.common import Candidate, syno_candidates
+from repro.nn.data import SyntheticImageDataset
+from repro.nn.models import MODEL_BUILDERS
+from repro.nn.models.common import default_conv_factory
+from repro.nn.models.profiles import MODEL_PROFILES
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.search.evaluator import LatencyEvaluator
+from repro.search.extraction import DEFAULT_COEFFICIENT_VALUES
+from repro.search.substitution import synthesized_conv_factory
+
+
+def _train_steps(default: int = 40) -> int:
+    return int(os.environ.get("REPRO_TRAIN_STEPS", default))
+
+
+@dataclass
+class ParetoPoint:
+    model: str
+    candidate: str          #: "baseline" or the candidate operator's name
+    accuracy: float
+    latency_ms: float
+
+
+@dataclass
+class Figure6Result:
+    points: list[ParetoPoint] = field(default_factory=list)
+
+    def pareto_front(self, model: str) -> list[ParetoPoint]:
+        """Points not dominated in (higher accuracy, lower latency)."""
+        candidates = [p for p in self.points if p.model == model]
+        front = []
+        for point in candidates:
+            dominated = any(
+                other.accuracy >= point.accuracy and other.latency_ms < point.latency_ms
+                for other in candidates
+                if other is not point
+            )
+            if not dominated:
+                front.append(point)
+        return sorted(front, key=lambda p: p.latency_ms)
+
+    def to_table(self) -> str:
+        lines = [f"{'model':22s} {'candidate':18s} {'accuracy':>9s} {'latency(ms)':>12s}"]
+        for point in self.points:
+            lines.append(
+                f"{point.model:22s} {point.candidate:18s} {point.accuracy:9.3f} {point.latency_ms:12.3f}"
+            )
+        return "\n".join(lines)
+
+
+def run(
+    models: Sequence[str] | None = None,
+    candidates: Sequence[Candidate] | None = None,
+    target: HardwareTarget = A100,
+    train_steps: int | None = None,
+    seed: int = 0,
+) -> Figure6Result:
+    """Regenerate the Pareto points (one target/backend by default for speed)."""
+    models = list(models) if models is not None else ["resnet18", "resnet34"]
+    candidates = list(candidates) if candidates is not None else syno_candidates()[:2] + syno_candidates()[3:4]
+    steps = train_steps if train_steps is not None else _train_steps()
+    backend = TVMBackend(trials=48)
+
+    dataset = SyntheticImageDataset(num_classes=10, num_samples=256, image_size=8, seed=seed)
+    train_set, val_set = dataset.split()
+    result = Figure6Result()
+
+    for model in models:
+        builder = MODEL_BUILDERS[model]
+        slots = MODEL_PROFILES[model]
+        latency_eval = LatencyEvaluator(slots=slots, backend=backend, target=target, batch=1)
+
+        baseline_model = builder(conv_factory=default_conv_factory)
+        baseline_acc = Trainer(
+            baseline_model, TrainingConfig(max_steps=steps, eval_every=max(steps // 2, 1))
+        ).fit_classifier(train_set, val_set).best_accuracy
+        result.points.append(
+            ParetoPoint(model, "baseline", baseline_acc, latency_eval.baseline_latency() * 1e3)
+        )
+
+        for candidate in candidates:
+            factory = synthesized_conv_factory(
+                candidate.operator, coefficients=DEFAULT_COEFFICIENT_VALUES, seed=seed
+            )
+            accuracy = Trainer(
+                builder(conv_factory=factory),
+                TrainingConfig(max_steps=steps, eval_every=max(steps // 2, 1)),
+            ).fit_classifier(train_set, val_set).best_accuracy
+            evaluator = LatencyEvaluator(
+                slots=slots, backend=backend, target=target, batch=1,
+                coefficients=candidate.coefficients,
+            )
+            latency_ms = evaluator.substituted_latency(candidate.operator) * 1e3
+            result.points.append(ParetoPoint(model, candidate.name, accuracy, latency_ms))
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(run().to_table())

@@ -1,0 +1,43 @@
+"""Symbolic intermediate representation used throughout the reproduction.
+
+The IR has two halves:
+
+* *sizes* — symbolic dimension sizes expressed as monomials over primary and
+  coefficient variables (Section 5.4 of the paper), plus shape specifications;
+* *coordinate expressions* — the arithmetic expressions on tensor iterators
+  that give primitives their semantics (Table 1), together with a small
+  Halide-style term-rewrite simplifier used by canonicalization.
+"""
+
+from repro.ir.variables import Variable, VariableKind, primary, coefficient
+from repro.ir.size import Size, SizeError
+from repro.ir.shape import ShapeSpec, TensorSpec
+from repro.ir.expr import (
+    Add,
+    Const,
+    CoordExpr,
+    FloorDiv,
+    Iterator,
+    Mod,
+    Mul,
+    simplify,
+)
+
+__all__ = [
+    "Variable",
+    "VariableKind",
+    "primary",
+    "coefficient",
+    "Size",
+    "SizeError",
+    "ShapeSpec",
+    "TensorSpec",
+    "CoordExpr",
+    "Iterator",
+    "Const",
+    "Add",
+    "Mul",
+    "FloorDiv",
+    "Mod",
+    "simplify",
+]

@@ -1,0 +1,201 @@
+"""Symbolic dimension sizes as monomials over variables.
+
+A :class:`Size` is a product of a rational numeric factor and variables raised
+to (possibly negative) integer powers, e.g. ``2 * H * W / s``.  This is exactly
+the representation the paper uses for primitive parameters and dimension
+domains (Section 5.4): monomials of primary and coefficient variables with
+bounded degrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.ir.variables import Variable, VariableKind
+
+
+class SizeError(ValueError):
+    """Raised for invalid symbolic size manipulations (e.g. inexact division)."""
+
+
+def _normalize_powers(powers: Mapping[Variable, int]) -> tuple[tuple[Variable, int], ...]:
+    items = [(v, int(p)) for v, p in powers.items() if int(p) != 0]
+    items.sort(key=lambda item: (item[0].kind.value, item[0].name))
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class Size:
+    """A symbolic size: ``factor * prod(var ** power)``.
+
+    Instances are immutable and hashable, so sizes can be used as dictionary
+    keys and compared structurally (two sizes are equal iff they have the same
+    normalized factor and variable powers).
+    """
+
+    factor: Fraction
+    powers: tuple[tuple[Variable, int], ...]
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def of(value: "Size | Variable | int") -> "Size":
+        """Coerce an int, a variable, or a size into a :class:`Size`."""
+        if isinstance(value, Size):
+            return value
+        if isinstance(value, Variable):
+            return Size(Fraction(1), ((value, 1),))
+        if isinstance(value, int):
+            if value <= 0:
+                raise SizeError(f"sizes must be positive, got {value}")
+            return Size(Fraction(value), ())
+        raise TypeError(f"cannot interpret {value!r} as a Size")
+
+    @staticmethod
+    def one() -> "Size":
+        return Size(Fraction(1), ())
+
+    @staticmethod
+    def product(sizes: Iterable["Size | Variable | int"]) -> "Size":
+        result = Size.one()
+        for size in sizes:
+            result = result * Size.of(size)
+        return result
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "factor", Fraction(self.factor))
+        object.__setattr__(self, "powers", _normalize_powers(dict(self.powers)))
+
+    # -- algebra -----------------------------------------------------------
+
+    def __mul__(self, other: "Size | Variable | int") -> "Size":
+        other = Size.of(other)
+        powers = dict(self.powers)
+        for var, power in other.powers:
+            powers[var] = powers.get(var, 0) + power
+        return Size(self.factor * other.factor, tuple(powers.items()))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Size | Variable | int") -> "Size":
+        other = Size.of(other)
+        powers = dict(self.powers)
+        for var, power in other.powers:
+            powers[var] = powers.get(var, 0) - power
+        return Size(self.factor / other.factor, tuple(powers.items()))
+
+    def pow(self, exponent: int) -> "Size":
+        powers = {var: power * exponent for var, power in self.powers}
+        return Size(self.factor**exponent, tuple(powers.items()))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_one(self) -> bool:
+        return self.factor == 1 and not self.powers
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.powers
+
+    def variables(self, kind: VariableKind | None = None) -> frozenset[Variable]:
+        if kind is None:
+            return frozenset(var for var, _ in self.powers)
+        return frozenset(var for var, _ in self.powers if var.kind is kind)
+
+    def primary_variables(self) -> frozenset[Variable]:
+        return self.variables(VariableKind.PRIMARY)
+
+    def coefficient_variables(self) -> frozenset[Variable]:
+        return self.variables(VariableKind.COEFFICIENT)
+
+    def power_of(self, var: Variable) -> int:
+        for candidate, power in self.powers:
+            if candidate == var:
+                return power
+        return 0
+
+    def degree(self, kind: VariableKind | None = None) -> int:
+        """Total degree (sum of powers) restricted to a variable kind."""
+        return sum(
+            power
+            for var, power in self.powers
+            if kind is None or var.kind is kind
+        )
+
+    @property
+    def has_primary_in_denominator(self) -> bool:
+        """Primary variables may not appear in denominators (Section 5.4)."""
+        return any(
+            power < 0 and var.is_primary for var, power in self.powers
+        )
+
+    def divides(self, other: "Size | Variable | int") -> bool:
+        """Whether ``self`` symbolically divides ``other``.
+
+        The check is conservative: every variable power in ``self`` must be
+        covered by ``other`` and the numeric factor of the quotient must be a
+        positive integer.
+        """
+        quotient = Size.of(other) / self
+        return quotient.is_plausible
+
+    @property
+    def is_plausible(self) -> bool:
+        """Whether this size could denote a positive integral dimension.
+
+        A size with a fractional constant factor and no variables, or with a
+        primary variable in a denominator, cannot be a valid dimension size.
+        """
+        if self.has_primary_in_denominator:
+            return False
+        if not self.powers:
+            return self.factor.denominator == 1 and self.factor >= 1
+        return self.factor > 0
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, bindings: Mapping[Variable, int] | None = None) -> int:
+        """Evaluate to a concrete positive integer given variable bindings.
+
+        Variables missing from ``bindings`` fall back to their declared
+        default values.  Raises :class:`SizeError` if the result is not a
+        positive integer.
+        """
+        bindings = dict(bindings or {})
+        value = Fraction(self.factor)
+        for var, power in self.powers:
+            if var in bindings:
+                concrete = bindings[var]
+            elif var.default is not None:
+                concrete = var.default
+            else:
+                raise SizeError(f"no binding for variable {var.name}")
+            if concrete <= 0:
+                raise SizeError(f"variable {var.name} bound to non-positive {concrete}")
+            value *= Fraction(concrete) ** power
+        if value.denominator != 1 or value <= 0:
+            raise SizeError(f"size {self} evaluates to non-integer {value}")
+        return int(value)
+
+    def evaluates_to_integer(self, bindings: Mapping[Variable, int] | None = None) -> bool:
+        try:
+            self.evaluate(bindings)
+        except SizeError:
+            return False
+        return True
+
+    # -- presentation ------------------------------------------------------
+
+    def __repr__(self) -> str:
+        terms: list[str] = []
+        if self.factor != 1 or not self.powers:
+            terms.append(str(self.factor))
+        for var, power in self.powers:
+            if power == 1:
+                terms.append(var.name)
+            else:
+                terms.append(f"{var.name}^{power}")
+        return "*".join(terms)

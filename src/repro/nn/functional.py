@@ -1,0 +1,441 @@
+"""Differentiable tensor operations.
+
+Every operation takes and returns :class:`~repro.nn.tensor.Tensor` objects and
+records the vector-Jacobian products needed for reverse-mode autodiff.  The
+set of primitives is intentionally small; layers and synthesized operators are
+built compositionally on top of it so their gradients come for free.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, _unbroadcast, as_tensor
+
+
+# ---------------------------------------------------------------------------
+# Elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def add(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data + b.data
+    return Tensor.from_op(
+        data,
+        [
+            (a, lambda g: _unbroadcast(g, a.shape)),
+            (b, lambda g: _unbroadcast(g, b.shape)),
+        ],
+    )
+
+
+def sub(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data - b.data
+    return Tensor.from_op(
+        data,
+        [
+            (a, lambda g: _unbroadcast(g, a.shape)),
+            (b, lambda g: _unbroadcast(-g, b.shape)),
+        ],
+    )
+
+
+def mul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data * b.data
+    return Tensor.from_op(
+        data,
+        [
+            (a, lambda g: _unbroadcast(g * b.data, a.shape)),
+            (b, lambda g: _unbroadcast(g * a.data, b.shape)),
+        ],
+    )
+
+
+def div(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data / b.data
+    return Tensor.from_op(
+        data,
+        [
+            (a, lambda g: _unbroadcast(g / b.data, a.shape)),
+            (b, lambda g: _unbroadcast(-g * a.data / (b.data**2), b.shape)),
+        ],
+    )
+
+
+def power(a, exponent: float) -> Tensor:
+    a = as_tensor(a)
+    data = a.data**exponent
+    return Tensor.from_op(
+        data, [(a, lambda g: g * exponent * a.data ** (exponent - 1))]
+    )
+
+
+def exp(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.exp(a.data)
+    return Tensor.from_op(data, [(a, lambda g: g * data)])
+
+
+def log(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.log(a.data)
+    return Tensor.from_op(data, [(a, lambda g: g / a.data)])
+
+
+def sqrt(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.sqrt(a.data)
+    return Tensor.from_op(data, [(a, lambda g: g * 0.5 / data)])
+
+
+def tanh(a) -> Tensor:
+    a = as_tensor(a)
+    data = np.tanh(a.data)
+    return Tensor.from_op(data, [(a, lambda g: g * (1.0 - data**2))])
+
+
+def sigmoid(a) -> Tensor:
+    a = as_tensor(a)
+    data = 1.0 / (1.0 + np.exp(-a.data))
+    return Tensor.from_op(data, [(a, lambda g: g * data * (1.0 - data))])
+
+
+def relu(a) -> Tensor:
+    a = as_tensor(a)
+    mask = a.data > 0
+    return Tensor.from_op(a.data * mask, [(a, lambda g: g * mask)])
+
+
+def gelu(a) -> Tensor:
+    """GELU with the tanh approximation (as used by GPT-2)."""
+    a = as_tensor(a)
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (a.data + 0.044715 * a.data**3)
+    t = np.tanh(inner)
+    data = 0.5 * a.data * (1.0 + t)
+    # d/dx [0.5x(1+tanh(u))] = 0.5(1+tanh(u)) + 0.5x(1-tanh(u)^2)u'
+    du = c * (1.0 + 3 * 0.044715 * a.data**2)
+    grad_local = 0.5 * (1.0 + t) + 0.5 * a.data * (1.0 - t**2) * du
+    return Tensor.from_op(data, [(a, lambda g: g * grad_local)])
+
+
+# ---------------------------------------------------------------------------
+# Reductions
+# ---------------------------------------------------------------------------
+
+
+def _normalize_axes(axis, ndim: int) -> tuple[int, ...]:
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(a % ndim for a in axis)
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors numpy
+    a = as_tensor(a)
+    axes = _normalize_axes(axis, a.ndim)
+    data = a.data.sum(axis=axes, keepdims=keepdims)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        grad = g
+        if not keepdims:
+            grad = np.expand_dims(grad, axis=axes)
+        return np.broadcast_to(grad, a.shape).copy()
+
+    return Tensor.from_op(data, [(a, vjp)])
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = as_tensor(a)
+    axes = _normalize_axes(axis, a.ndim)
+    count = 1
+    for ax in axes:
+        count *= a.shape[ax]
+    return mul(sum(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors numpy
+    a = as_tensor(a)
+    axes = _normalize_axes(axis, a.ndim)
+    data = a.data.max(axis=axes, keepdims=True)
+    mask = (a.data == data).astype(np.float64)
+    mask = mask / mask.sum(axis=axes, keepdims=True)
+    out = data if keepdims else np.squeeze(data, axis=axes)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        grad = g
+        if not keepdims:
+            grad = np.expand_dims(grad, axis=axes)
+        return grad * mask
+
+    return Tensor.from_op(out, [(a, vjp)])
+
+
+# ---------------------------------------------------------------------------
+# Linear algebra
+# ---------------------------------------------------------------------------
+
+
+def matmul(a, b) -> Tensor:
+    a, b = as_tensor(a), as_tensor(b)
+    data = a.data @ b.data
+
+    def vjp_a(g: np.ndarray) -> np.ndarray:
+        grad = g @ np.swapaxes(b.data, -1, -2)
+        return _unbroadcast(grad, a.shape)
+
+    def vjp_b(g: np.ndarray) -> np.ndarray:
+        grad = np.swapaxes(a.data, -1, -2) @ g
+        return _unbroadcast(grad, b.shape)
+
+    return Tensor.from_op(data, [(a, vjp_a), (b, vjp_b)])
+
+
+def einsum(subscripts: str, *operands) -> Tensor:
+    """General einsum with autograd (no ellipsis support).
+
+    The backward pass for operand ``i`` swaps its subscript with the output
+    subscript and feeds the upstream gradient in its place, broadcasting over
+    any axes of operand ``i`` that do not appear elsewhere.
+    """
+    tensors = [as_tensor(op) for op in operands]
+    if "..." in subscripts:
+        raise ValueError("einsum with ellipsis is not supported")
+    inputs_part, output_part = subscripts.split("->")
+    input_subs = [part.strip() for part in inputs_part.split(",")]
+    if len(input_subs) != len(tensors):
+        raise ValueError("einsum subscripts do not match the number of operands")
+    data = np.einsum(subscripts, *[t.data for t in tensors])
+
+    parents = []
+    for index, tensor in enumerate(tensors):
+        def make_vjp(index: int, tensor: Tensor):
+            target_sub = input_subs[index]
+            other_subs = [input_subs[j] for j in range(len(tensors)) if j != index]
+            other_tensors = [tensors[j] for j in range(len(tensors)) if j != index]
+
+            def vjp(g: np.ndarray) -> np.ndarray:
+                # Build: grad_i = einsum(output_sub, others... -> target_sub)
+                available = set(output_part)
+                for sub in other_subs:
+                    available.update(sub)
+                missing = [c for c in target_sub if c not in available]
+                reduced_target = "".join(c for c in target_sub if c not in missing)
+                sub_expr = ",".join([output_part] + other_subs) + "->" + reduced_target
+                grad = np.einsum(sub_expr, g, *[t.data for t in other_tensors])
+                if missing:
+                    # Axes that appear only in this operand: gradient broadcasts.
+                    expand_shape = []
+                    src_iter = iter(range(grad.ndim))
+                    grad_expanded = grad
+                    for c in target_sub:
+                        if c in missing:
+                            expand_shape.append(1)
+                        else:
+                            expand_shape.append(grad.shape[next(src_iter)])
+                    grad_expanded = grad.reshape(expand_shape)
+                    grad = np.broadcast_to(grad_expanded, tensor.shape).copy()
+                return grad
+
+            return vjp
+
+        parents.append((tensor, make_vjp(index, tensor)))
+    return Tensor.from_op(data, parents)
+
+
+# ---------------------------------------------------------------------------
+# Shape manipulation
+# ---------------------------------------------------------------------------
+
+
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    a = as_tensor(a)
+    shape = tuple(shape)
+    data = a.data.reshape(shape)
+    return Tensor.from_op(data, [(a, lambda g: g.reshape(a.shape))])
+
+
+def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
+    a = as_tensor(a)
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    axes = tuple(axes)
+    inverse = tuple(np.argsort(axes))
+    data = a.data.transpose(axes)
+    return Tensor.from_op(data, [(a, lambda g: g.transpose(inverse))])
+
+
+def broadcast_to(a, shape: Sequence[int]) -> Tensor:
+    a = as_tensor(a)
+    shape = tuple(shape)
+    data = np.broadcast_to(a.data, shape).copy()
+    return Tensor.from_op(data, [(a, lambda g: _unbroadcast(g, a.shape))])
+
+
+def expand_dims(a, axis: int) -> Tensor:
+    a = as_tensor(a)
+    data = np.expand_dims(a.data, axis)
+    return Tensor.from_op(data, [(a, lambda g: np.squeeze(g, axis=axis))])
+
+
+def getitem(a, index) -> Tensor:
+    a = as_tensor(a)
+    data = a.data[index]
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        grad = np.zeros_like(a.data)
+        np.add.at(grad, index, g)
+        return grad
+
+    return Tensor.from_op(data, [(a, vjp)])
+
+
+def pad(a, pad_width: Sequence[tuple[int, int]]) -> Tensor:
+    """Zero padding; ``pad_width`` follows numpy's per-axis convention."""
+    a = as_tensor(a)
+    pad_width = tuple((int(lo), int(hi)) for lo, hi in pad_width)
+    data = np.pad(a.data, pad_width)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        slices = tuple(
+            slice(lo, g.shape[axis] - hi if hi else None)
+            for axis, (lo, hi) in enumerate(pad_width)
+        )
+        return g[slices]
+
+    return Tensor.from_op(data, [(a, vjp)])
+
+
+def take(a, indices: np.ndarray, axis: int) -> Tensor:
+    """Gather along one axis with an integer index array (backward scatter-adds)."""
+    a = as_tensor(a)
+    indices = np.asarray(indices, dtype=np.int64)
+    data = np.take(a.data, indices, axis=axis)
+
+    def vjp(g: np.ndarray) -> np.ndarray:
+        grad = np.zeros_like(a.data)
+        moved_grad = np.moveaxis(g, axis, 0) if indices.ndim == 1 else g
+        if indices.ndim == 1:
+            moved = np.moveaxis(grad, axis, 0)
+            np.add.at(moved, indices, moved_grad)
+            return np.moveaxis(moved, 0, axis)
+        raise NotImplementedError("take backward supports 1-D index arrays only")
+
+    return Tensor.from_op(data, [(a, vjp)])
+
+
+def roll(a, shift: int, axis: int) -> Tensor:
+    """Cyclic shift along an axis (the Shift primitive's top-down semantics)."""
+    a = as_tensor(a)
+    data = np.roll(a.data, shift, axis=axis)
+    return Tensor.from_op(data, [(a, lambda g: np.roll(g, -shift, axis=axis))])
+
+
+def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    parents = []
+    offset = 0
+    for tensor in tensors:
+        extent = tensor.shape[axis]
+
+        def make_vjp(start: int, extent: int, tensor: Tensor):
+            def vjp(g: np.ndarray) -> np.ndarray:
+                slices = [slice(None)] * g.ndim
+                slices[axis] = slice(start, start + extent)
+                return g[tuple(slices)]
+
+            return vjp
+
+        parents.append((tensor, make_vjp(offset, extent, tensor)))
+        offset += extent
+    return Tensor.from_op(data, parents)
+
+
+# ---------------------------------------------------------------------------
+# Neural-network specific helpers
+# ---------------------------------------------------------------------------
+
+
+def unfold1d(a, axis: int, window: int) -> Tensor:
+    """Extract same-padded sliding windows of size ``window`` along ``axis``.
+
+    Produces a tensor with a trailing window axis:
+    ``out[..., i, ..., j] = in[..., i + j - window//2, ...]`` with zero padding,
+    exactly the top-down semantics of the paper's Unfold primitive.
+    """
+    a = as_tensor(a)
+    extent = a.shape[axis]
+    offset = window // 2
+    pad_width = [(0, 0)] * a.ndim
+    pad_width[axis] = (offset, window - 1 - offset)
+    padded = pad(a, pad_width)
+    # Gather indices: position i, window j reads padded index i + j.
+    gather = (np.arange(extent)[:, None] + np.arange(window)[None, :]).reshape(-1)
+    taken = take(padded, gather, axis=axis)  # axis extent becomes extent*window
+    new_shape = list(a.shape)
+    new_shape[axis : axis + 1] = [extent, window]
+    reshaped = reshape(taken, new_shape)
+    # Move the window axis to the end.
+    axes = list(range(reshaped.ndim))
+    window_axis = axes.pop(axis + 1)
+    axes.append(window_axis)
+    return transpose(reshaped, axes)
+
+
+def strided_slice(a, axis: int, step: int) -> Tensor:
+    """Select every ``step``-th element along ``axis`` (Stride's top-down view)."""
+    a = as_tensor(a)
+    index = tuple(
+        slice(None, None, step) if current == axis else slice(None)
+        for current in range(a.ndim)
+    )
+    return getitem(a, index)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = sub(a, Tensor(a.data.max(axis=axis, keepdims=True)))
+    exps = exp(shifted)
+    return div(exps, sum(exps, axis=axis, keepdims=True))
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = as_tensor(a)
+    shifted = sub(a, Tensor(a.data.max(axis=axis, keepdims=True)))
+    return sub(shifted, log(sum(exp(shifted), axis=axis, keepdims=True)))
+
+
+def cross_entropy(logits, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits [B, C]`` and integer ``targets [B]``."""
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    onehot = np.zeros(logits.shape, dtype=np.float64)
+    onehot[np.arange(batch), targets] = 1.0
+    picked = mul(log_probs, Tensor(onehot))
+    return mul(sum(picked), -1.0 / batch)
+
+
+def accuracy(logits, targets: np.ndarray) -> float:
+    logits = as_tensor(logits)
+    predictions = logits.data.argmax(axis=-1)
+    targets = np.asarray(targets)
+    return float((predictions == targets).mean())
+
+
+def dropout(a, rate: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
+    if not training or rate <= 0.0:
+        return as_tensor(a)
+    rng = rng or np.random.default_rng()
+    a = as_tensor(a)
+    mask = (rng.random(a.shape) >= rate) / (1.0 - rate)
+    return mul(a, Tensor(mask))

@@ -1,0 +1,244 @@
+"""Common neural-network layers built from the autograd primitives.
+
+The convolution is implemented compositionally (pad → gather windows →
+einsum), so its gradient falls out of the autograd engine; the same
+``unfold1d`` helper implements the top-down semantics of the paper's Unfold
+primitive, keeping the substrate and the synthesized operators consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+def _kaiming(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    scale = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, scale, size=shape)
+
+
+_GLOBAL_RNG = np.random.default_rng(0)
+
+
+def default_rng() -> np.random.Generator:
+    return _GLOBAL_RNG
+
+
+def seed_all(seed: int) -> None:
+    """Reseed the substrate's global parameter-initialization RNG."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x @ W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(_kaiming((out_features, in_features), in_features, rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        y = F.matmul(x, F.transpose(self.weight))
+        if self.bias is not None:
+            y = F.add(y, self.bias)
+        return y
+
+
+class Conv2d(Module):
+    """Same/valid 2-D convolution implemented with gather + einsum."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | None = None,
+        groups: int = 1,
+        bias: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or default_rng()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = kernel_size // 2 if padding is None else padding
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        self.weight = Parameter(
+            _kaiming((out_channels, in_channels // groups, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        k, pad_amount, stride = self.kernel_size, self.padding, self.stride
+        padded = F.pad(x, [(0, 0), (0, 0), (pad_amount, pad_amount), (pad_amount, pad_amount)])
+        out_h = (height + 2 * pad_amount - k) // stride + 1
+        out_w = (width + 2 * pad_amount - k) // stride + 1
+        rows = (np.arange(out_h) * stride)[:, None] + np.arange(k)[None, :]
+        cols = (np.arange(out_w) * stride)[:, None] + np.arange(k)[None, :]
+        gathered = F.take(padded, rows.reshape(-1), axis=2)
+        gathered = F.reshape(gathered, (batch, channels, out_h, k, padded.shape[3]))
+        gathered = F.take(gathered, cols.reshape(-1), axis=4)
+        patches = F.reshape(gathered, (batch, channels, out_h, k, out_w, k))
+        # patches[b, c, i, u, j, v] = x_padded[b, c, i*stride+u, j*stride+v]
+        groups = self.groups
+        cin_group = channels // groups
+        cout_group = self.out_channels // groups
+        patches = F.reshape(patches, (batch, groups, cin_group, out_h, k, out_w, k))
+        weight = F.reshape(
+            self.weight, (groups, cout_group, cin_group, k, k)
+        )
+        out = F.einsum("bgcxuyv,gdcuv->bgdxy", patches, weight)
+        out = F.reshape(out, (batch, self.out_channels, out_h, out_w))
+        if self.bias is not None:
+            out = F.add(out, F.reshape(self.bias, (1, self.out_channels, 1, 1)))
+        return out
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, H, W) with running statistics."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = F.mean(x, axis=(0, 2, 3), keepdims=True)
+            centered = F.sub(x, mean)
+            var = F.mean(F.mul(centered, centered), axis=(0, 2, 3), keepdims=True)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var.data.reshape(-1)
+            )
+        else:
+            mean = Tensor(self.running_mean.reshape(1, -1, 1, 1))
+            var = Tensor(self.running_var.reshape(1, -1, 1, 1))
+            centered = F.sub(x, mean)
+        inv_std = F.power(F.add(var, self.eps), -0.5)
+        normalized = F.mul(centered, inv_std)
+        scale = F.reshape(self.weight, (1, self.num_features, 1, 1))
+        shift = F.reshape(self.bias, (1, self.num_features, 1, 1))
+        return F.add(F.mul(normalized, scale), shift)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = F.mean(x, axis=-1, keepdims=True)
+        centered = F.sub(x, mean)
+        var = F.mean(F.mul(centered, centered), axis=-1, keepdims=True)
+        normalized = F.mul(centered, F.power(F.add(var, self.eps), -0.5))
+        return F.add(F.mul(normalized, self.weight), self.bias)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class GELU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.gelu(x)
+
+
+class Dropout(Module):
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.rate = rate
+        self.rng = rng or default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self.training, self.rng)
+
+
+class Embedding(Module):
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or default_rng()
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        flat = F.take(self.weight, indices.reshape(-1), axis=0)
+        return F.reshape(flat, tuple(indices.shape) + (self.weight.shape[1],))
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        k, stride = self.kernel_size, self.stride
+        out_h, out_w = (height - k) // stride + 1, (width - k) // stride + 1
+        rows = (np.arange(out_h) * stride)[:, None] + np.arange(k)[None, :]
+        cols = (np.arange(out_w) * stride)[:, None] + np.arange(k)[None, :]
+        gathered = F.take(x, rows.reshape(-1), axis=2)
+        gathered = F.reshape(gathered, (batch, channels, out_h, k, width))
+        gathered = F.take(gathered, cols.reshape(-1), axis=4)
+        patches = F.reshape(gathered, (batch, channels, out_h, k, out_w, k))
+        patches = F.transpose(patches, (0, 1, 2, 4, 3, 5))
+        patches = F.reshape(patches, (batch, channels, out_h, out_w, k * k))
+        return F.max(patches, axis=-1)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, channels, height, width = x.shape
+        k, stride = self.kernel_size, self.stride
+        if stride == k and height % k == 0 and width % k == 0:
+            reshaped = F.reshape(x, (batch, channels, height // k, k, width // k, k))
+            return F.mean(reshaped, axis=(3, 5))
+        out_h, out_w = (height - k) // stride + 1, (width - k) // stride + 1
+        rows = (np.arange(out_h) * stride)[:, None] + np.arange(k)[None, :]
+        cols = (np.arange(out_w) * stride)[:, None] + np.arange(k)[None, :]
+        gathered = F.take(x, rows.reshape(-1), axis=2)
+        gathered = F.reshape(gathered, (batch, channels, out_h, k, width))
+        gathered = F.take(gathered, cols.reshape(-1), axis=4)
+        patches = F.reshape(gathered, (batch, channels, out_h, k, out_w, k))
+        return F.mean(patches, axis=(3, 5))
+
+
+class AdaptiveAvgPool2d(Module):
+    """Global average pooling to a 1x1 spatial output."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.mean(x, axis=(2, 3), keepdims=True)

@@ -1,0 +1,104 @@
+"""Tiny DenseNet-121 (Huang et al., CVPR 2017) on the numpy substrate.
+
+Dense blocks concatenate every layer's output to the running feature map;
+transition layers compress channels and downsample.  The 3x3 convolutions
+inside dense layers are the substitutable slots.
+"""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.layers import AdaptiveAvgPool2d, AvgPool2d, BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.models.common import ConvFactory, ConvSlot, default_conv_factory
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class DenseLayer(Module):
+    """BN -> ReLU -> 3x3 conv producing ``growth_rate`` new channels."""
+
+    def __init__(self, name: str, in_channels: int, growth_rate: int, spatial: int,
+                 conv_factory: ConvFactory) -> None:
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.relu = ReLU()
+        self.conv = conv_factory(ConvSlot(name, in_channels, growth_rate, spatial, 3, 1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        new_features = self.conv(self.relu(self.bn(x)))
+        return F.concatenate([x, new_features], axis=1)
+
+
+class Transition(Module):
+    """1x1 compression convolution followed by 2x2 average pooling."""
+
+    def __init__(self, in_channels: int, out_channels: int) -> None:
+        super().__init__()
+        self.bn = BatchNorm2d(in_channels)
+        self.relu = ReLU()
+        self.conv = Conv2d(in_channels, out_channels, kernel_size=1, padding=0)
+        self.pool = AvgPool2d(2)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pool(self.conv(self.relu(self.bn(x))))
+
+
+class DenseNet(Module):
+    """A scaled-down DenseNet with configurable dense-block sizes."""
+
+    def __init__(
+        self,
+        block_layers: tuple[int, ...] = (2, 2, 2),
+        growth_rate: int = 4,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 8,
+        compression: float = 0.5,
+        conv_factory: ConvFactory = default_conv_factory,
+    ) -> None:
+        super().__init__()
+        channels = 2 * growth_rate
+        self.stem = conv_factory(ConvSlot("stem", in_channels, channels, image_size, 3, 1))
+        spatial = image_size
+        self.blocks: list[Module] = []
+        for block_index, layers in enumerate(block_layers):
+            for layer_index in range(layers):
+                self.blocks.append(
+                    DenseLayer(
+                        f"dense{block_index}.layer{layer_index}",
+                        channels,
+                        growth_rate,
+                        spatial,
+                        conv_factory,
+                    )
+                )
+                channels += growth_rate
+            if block_index != len(block_layers) - 1:
+                out_channels = max(int(channels * compression), growth_rate)
+                self.blocks.append(Transition(channels, out_channels))
+                channels = out_channels
+                spatial //= 2
+        self.final_bn = BatchNorm2d(channels)
+        self.relu = ReLU()
+        self.pool = AdaptiveAvgPool2d()
+        self.head = Linear(channels, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        for block in self.blocks:
+            out = block(out)
+        out = self.pool(self.relu(self.final_bn(out)))
+        out = F.reshape(out, (out.shape[0], out.shape[1]))
+        return self.head(out)
+
+
+def densenet121(conv_factory: ConvFactory = default_conv_factory, num_classes: int = 10,
+                image_size: int = 8) -> DenseNet:
+    """DenseNet-121's dense/transition layout scaled down to three blocks."""
+    return DenseNet(
+        block_layers=(2, 3, 2),
+        growth_rate=4,
+        num_classes=num_classes,
+        image_size=image_size,
+        conv_factory=conv_factory,
+    )

@@ -1,0 +1,150 @@
+"""Tiny EfficientNetV2-S (Tan & Le, ICML 2021) on the numpy substrate.
+
+EfficientNetV2 is the paper's "NAS-optimized" backbone: its early stages use
+fused MBConv blocks (a full 3x3 convolution) and later stages use MBConv
+blocks with depthwise 3x3 convolutions and squeeze-and-excitation.  The fused
+3x3 convolutions are the substitutable slots (depthwise convolutions are
+grouped and therefore already cheap, mirroring why the paper sees smaller
+gains on this model).
+"""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.models.common import ConvFactory, ConvSlot, default_conv_factory
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class SqueezeExcite(Module):
+    """Channel attention: global pool -> reduce -> expand -> sigmoid gate."""
+
+    def __init__(self, channels: int, reduction: int = 4) -> None:
+        super().__init__()
+        hidden = max(channels // reduction, 1)
+        self.pool = AdaptiveAvgPool2d()
+        self.reduce = Conv2d(channels, hidden, kernel_size=1, padding=0, bias=True)
+        self.expand = Conv2d(hidden, channels, kernel_size=1, padding=0, bias=True)
+        self.relu = ReLU()
+
+    def forward(self, x: Tensor) -> Tensor:
+        gate = self.pool(x)
+        gate = self.relu(self.reduce(gate))
+        gate = F.sigmoid(self.expand(gate))
+        return F.mul(x, gate)
+
+
+class FusedMBConv(Module):
+    """Expansion 3x3 convolution + projection (EfficientNetV2's early blocks)."""
+
+    def __init__(self, name: str, in_channels: int, out_channels: int, expansion: int,
+                 spatial: int, stride: int, conv_factory: ConvFactory) -> None:
+        super().__init__()
+        hidden = in_channels * expansion
+        self.conv = conv_factory(ConvSlot(f"{name}.fused", in_channels, hidden, spatial, 3, stride))
+        self.bn1 = BatchNorm2d(hidden)
+        self.project = Conv2d(hidden, out_channels, kernel_size=1, padding=0)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.use_residual = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.conv(x)))
+        out = self.bn2(self.project(out))
+        if self.use_residual:
+            out = F.add(out, x)
+        return out
+
+
+class MBConv(Module):
+    """1x1 expand -> depthwise 3x3 -> SE -> 1x1 project (later blocks)."""
+
+    def __init__(self, name: str, in_channels: int, out_channels: int, expansion: int,
+                 spatial: int, stride: int, conv_factory: ConvFactory) -> None:
+        super().__init__()
+        hidden = in_channels * expansion
+        self.expand = Conv2d(in_channels, hidden, kernel_size=1, padding=0)
+        self.bn1 = BatchNorm2d(hidden)
+        # Depthwise convolution: groups == channels.  Recorded as a slot so the
+        # FLOPs accounting sees it, but it is not a standard-conv substitution
+        # target (the factory can skip grouped slots).
+        self.depthwise = conv_factory(
+            ConvSlot(f"{name}.dw", hidden, hidden, spatial, 3, stride, groups=hidden)
+        )
+        self.bn2 = BatchNorm2d(hidden)
+        self.se = SqueezeExcite(hidden)
+        self.project = Conv2d(hidden, out_channels, kernel_size=1, padding=0)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.use_residual = stride == 1 and in_channels == out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.bn1(self.expand(x)))
+        out = self.relu(self.bn2(self.depthwise(out)))
+        out = self.se(out)
+        out = self.bn3(self.project(out))
+        if self.use_residual:
+            out = F.add(out, x)
+        return out
+
+
+class EfficientNetV2(Module):
+    """A scaled-down EfficientNetV2: fused blocks then MBConv blocks."""
+
+    def __init__(
+        self,
+        fused_blocks: int = 2,
+        mbconv_blocks: int = 2,
+        widths: tuple[int, int, int] = (8, 16, 24),
+        expansion: int = 2,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 8,
+        conv_factory: ConvFactory = default_conv_factory,
+    ) -> None:
+        super().__init__()
+        self.stem = conv_factory(ConvSlot("stem", in_channels, widths[0], image_size, 3, 1))
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+        self.blocks: list[Module] = []
+        channels = widths[0]
+        spatial = image_size
+        for index in range(fused_blocks):
+            stride = 2 if index == 0 else 1
+            self.blocks.append(
+                FusedMBConv(f"fused{index}", channels, widths[1], expansion, spatial, stride,
+                            conv_factory)
+            )
+            channels = widths[1]
+            spatial //= stride
+        for index in range(mbconv_blocks):
+            stride = 2 if index == 0 and spatial > 2 else 1
+            self.blocks.append(
+                MBConv(f"mbconv{index}", channels, widths[2], expansion, spatial, stride,
+                       conv_factory)
+            )
+            channels = widths[2]
+            spatial //= stride
+        self.pool = AdaptiveAvgPool2d()
+        self.head = Linear(channels, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            out = block(out)
+        out = self.pool(out)
+        out = F.reshape(out, (out.shape[0], out.shape[1]))
+        return self.head(out)
+
+
+def efficientnet_v2_s(conv_factory: ConvFactory = default_conv_factory, num_classes: int = 10,
+                      image_size: int = 8) -> EfficientNetV2:
+    """EfficientNetV2-S scaled down: two fused and two MBConv stages."""
+    return EfficientNetV2(
+        fused_blocks=2,
+        mbconv_blocks=2,
+        num_classes=num_classes,
+        image_size=image_size,
+        conv_factory=conv_factory,
+    )

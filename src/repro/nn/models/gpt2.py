@@ -1,0 +1,143 @@
+"""A tiny GPT-2 (Radford et al., 2019) on the numpy substrate.
+
+The model follows the GPT-2 architecture (token + position embeddings,
+pre-norm transformer blocks with causal self-attention and a GELU MLP, weight
+tying on the LM head) at a vastly reduced size.  The QKV projections are built
+through a ``projection_factory`` so that the search can substitute synthesized
+operators for them, which is exactly the substitution the paper performs for
+its GPT-2 experiment (Section 9.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+#: A projection factory maps (name, in_features, out_features) to a module.
+ProjectionFactory = Callable[[str, int, int], Module]
+
+
+def default_projection_factory(name: str, in_features: int, out_features: int) -> Module:
+    return Linear(in_features, out_features)
+
+
+class CausalSelfAttention(Module):
+    """Multi-head causal self-attention with substitutable QKV projections."""
+
+    def __init__(self, name: str, embed_dim: int, num_heads: int,
+                 projection_factory: ProjectionFactory) -> None:
+        super().__init__()
+        if embed_dim % num_heads:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = projection_factory(f"{name}.q", embed_dim, embed_dim)
+        self.k_proj = projection_factory(f"{name}.k", embed_dim, embed_dim)
+        self.v_proj = projection_factory(f"{name}.v", embed_dim, embed_dim)
+        self.out_proj = Linear(embed_dim, embed_dim)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        x = F.reshape(x, (batch, seq, self.num_heads, self.head_dim))
+        return F.transpose(x, (0, 2, 1, 3))  # [B, heads, T, head_dim]
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.q_proj(x))
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+        scores = F.einsum("bhtd,bhsd->bhts", q, k)
+        scores = F.mul(scores, 1.0 / np.sqrt(self.head_dim))
+        mask = np.triu(np.full((seq, seq), -1e9), k=1)
+        scores = F.add(scores, Tensor(mask.reshape(1, 1, seq, seq)))
+        attention = F.softmax(scores, axis=-1)
+        context = F.einsum("bhts,bhsd->bhtd", attention, v)
+        context = F.transpose(context, (0, 2, 1, 3))
+        context = F.reshape(context, (batch, seq, self.embed_dim))
+        return self.out_proj(context)
+
+
+class TransformerBlock(Module):
+    """Pre-norm transformer block: attention + GELU MLP."""
+
+    def __init__(self, name: str, embed_dim: int, num_heads: int, mlp_ratio: int,
+                 projection_factory: ProjectionFactory) -> None:
+        super().__init__()
+        self.norm1 = LayerNorm(embed_dim)
+        self.attention = CausalSelfAttention(name, embed_dim, num_heads, projection_factory)
+        self.norm2 = LayerNorm(embed_dim)
+        self.mlp_in = Linear(embed_dim, embed_dim * mlp_ratio)
+        self.gelu = GELU()
+        self.mlp_out = Linear(embed_dim * mlp_ratio, embed_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = F.add(x, self.attention(self.norm1(x)))
+        hidden = self.mlp_out(self.gelu(self.mlp_in(self.norm2(x))))
+        return F.add(x, hidden)
+
+
+class GPT2(Module):
+    """A decoder-only transformer language model."""
+
+    def __init__(
+        self,
+        vocab_size: int = 64,
+        max_seq_len: int = 16,
+        embed_dim: int = 32,
+        num_heads: int = 4,
+        num_layers: int = 2,
+        mlp_ratio: int = 2,
+        dropout: float = 0.0,
+        projection_factory: ProjectionFactory = default_projection_factory,
+    ) -> None:
+        super().__init__()
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.token_embedding = Embedding(vocab_size, embed_dim)
+        self.position_embedding = Embedding(max_seq_len, embed_dim)
+        self.dropout = Dropout(dropout)
+        self.blocks = [
+            TransformerBlock(f"block{i}", embed_dim, num_heads, mlp_ratio, projection_factory)
+            for i in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(embed_dim)
+        self.lm_head = Linear(embed_dim, vocab_size, bias=False)
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        _, seq = tokens.shape
+        positions = np.arange(seq)
+        x = F.add(self.token_embedding(tokens), self.position_embedding(positions))
+        x = self.dropout(x)
+        for block in self.blocks:
+            x = block(x)
+        x = self.final_norm(x)
+        return self.lm_head(x)
+
+    def projection_slots(self) -> list[tuple[str, int, int]]:
+        """The QKV projection slots (name, in_features, out_features)."""
+        slots = []
+        for index, _ in enumerate(self.blocks):
+            for which in ("q", "k", "v"):
+                slots.append((f"block{index}.{which}", self.embed_dim, self.embed_dim))
+        return slots
+
+
+def gpt2_tiny(projection_factory: ProjectionFactory = default_projection_factory,
+              vocab_size: int = 64, max_seq_len: int = 16) -> GPT2:
+    """The GPT-2 architecture at toy scale (2 layers, 4 heads, 32 dims)."""
+    return GPT2(
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+        embed_dim=32,
+        num_heads=4,
+        num_layers=2,
+        projection_factory=projection_factory,
+    )

@@ -1,0 +1,132 @@
+"""Tiny ResNet-18 / ResNet-34 (He et al., CVPR 2016) on the numpy substrate.
+
+The block structure (two 3x3 convolutions per basic block, identity or
+1x1-projection shortcuts, stage doubling of channels with stride-2
+downsampling) matches the original; widths and input resolution are scaled
+down so the model trains in seconds on a CPU.  The residual links live in the
+block, outside the substitutable operators, exactly as the paper requires
+(Section 5.4: Syno operators are single-input, residuals stay in the model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.models.common import ConvFactory, ConvSlot, default_conv_factory
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class BasicBlock(Module):
+    """Two 3x3 convolutions with a residual connection."""
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        spatial: int,
+        stride: int,
+        conv_factory: ConvFactory,
+    ) -> None:
+        super().__init__()
+        self.conv1 = conv_factory(
+            ConvSlot(f"{name}.conv1", in_channels, out_channels, spatial, 3, stride)
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = conv_factory(
+            ConvSlot(f"{name}.conv2", out_channels, out_channels, spatial // stride, 3, 1)
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            # 1x1 projection shortcuts are not substituted (not 3x3 slots).
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, kernel_size=1, stride=stride, padding=0),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.shortcut is None else self.shortcut(x)
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return self.relu(F.add(out, identity))
+
+
+class ResNet(Module):
+    """A scaled-down ResNet with configurable blocks per stage."""
+
+    def __init__(
+        self,
+        blocks_per_stage: tuple[int, ...] = (2, 2, 2),
+        widths: tuple[int, ...] = (8, 16, 32),
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 8,
+        conv_factory: ConvFactory = default_conv_factory,
+    ) -> None:
+        super().__init__()
+        if len(blocks_per_stage) != len(widths):
+            raise ValueError("blocks_per_stage and widths must have the same length")
+        self.image_size = image_size
+        self.stem = conv_factory(ConvSlot("stem", in_channels, widths[0], image_size, 3, 1))
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+
+        stages = []
+        channels = widths[0]
+        spatial = image_size
+        for stage_index, (blocks, width) in enumerate(zip(blocks_per_stage, widths)):
+            for block_index in range(blocks):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                stages.append(
+                    BasicBlock(
+                        f"stage{stage_index}.block{block_index}",
+                        channels,
+                        width,
+                        spatial,
+                        stride,
+                        conv_factory,
+                    )
+                )
+                channels = width
+                spatial //= stride
+        self.stages = stages
+        self.pool = AdaptiveAvgPool2d()
+        self.head = Linear(channels, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.stem_bn(self.stem(x)))
+        for block in self.stages:
+            out = block(out)
+        out = self.pool(out)
+        out = F.reshape(out, (out.shape[0], out.shape[1]))
+        return self.head(out)
+
+
+def resnet18(conv_factory: ConvFactory = default_conv_factory, num_classes: int = 10,
+             image_size: int = 8) -> ResNet:
+    """The ResNet-18 block layout ([2, 2, 2, 2]) at reduced width/resolution."""
+    return ResNet(
+        blocks_per_stage=(2, 2, 2),
+        widths=(8, 16, 32),
+        num_classes=num_classes,
+        image_size=image_size,
+        conv_factory=conv_factory,
+    )
+
+
+def resnet34(conv_factory: ConvFactory = default_conv_factory, num_classes: int = 10,
+             image_size: int = 8) -> ResNet:
+    """The ResNet-34 layout ([3, 4, 6, 3]) scaled down to three stages."""
+    return ResNet(
+        blocks_per_stage=(3, 4, 3),
+        widths=(8, 16, 32),
+        num_classes=num_classes,
+        image_size=image_size,
+        conv_factory=conv_factory,
+    )

@@ -1,0 +1,116 @@
+"""Tiny ResNeXt-29 (Xie et al., CVPR 2017) on the numpy substrate.
+
+ResNeXt blocks use grouped 3x3 convolutions ("cardinality"); the paper's
+ResNeXt-29-2x64d uses cardinality 2.  The grouped 3x3 convolution is the
+substitutable slot (the search is given the grouped shape to beat).
+"""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.layers import AdaptiveAvgPool2d, BatchNorm2d, Conv2d, Linear, ReLU
+from repro.nn.models.common import ConvFactory, ConvSlot, default_conv_factory
+from repro.nn.module import Module, Sequential
+from repro.nn.tensor import Tensor
+
+
+class ResNeXtBlock(Module):
+    """1x1 reduce -> grouped 3x3 -> 1x1 expand, with a residual connection."""
+
+    def __init__(
+        self,
+        name: str,
+        in_channels: int,
+        bottleneck: int,
+        out_channels: int,
+        cardinality: int,
+        spatial: int,
+        stride: int,
+        conv_factory: ConvFactory,
+    ) -> None:
+        super().__init__()
+        self.reduce = Conv2d(in_channels, bottleneck, kernel_size=1, padding=0)
+        self.bn1 = BatchNorm2d(bottleneck)
+        self.conv = conv_factory(
+            ConvSlot(f"{name}.grouped", bottleneck, bottleneck, spatial, 3, stride, cardinality)
+        )
+        self.bn2 = BatchNorm2d(bottleneck)
+        self.expand = Conv2d(bottleneck, out_channels, kernel_size=1, padding=0)
+        self.bn3 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, kernel_size=1, stride=stride, padding=0),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = x if self.shortcut is None else self.shortcut(x)
+        out = self.relu(self.bn1(self.reduce(x)))
+        out = self.relu(self.bn2(self.conv(out)))
+        out = self.bn3(self.expand(out))
+        return self.relu(F.add(out, identity))
+
+
+class ResNeXt(Module):
+    """A scaled-down ResNeXt with three stages of aggregated blocks."""
+
+    def __init__(
+        self,
+        blocks_per_stage: tuple[int, ...] = (1, 1, 1),
+        widths: tuple[int, ...] = (8, 16, 32),
+        cardinality: int = 2,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        image_size: int = 8,
+        conv_factory: ConvFactory = default_conv_factory,
+    ) -> None:
+        super().__init__()
+        self.stem = conv_factory(ConvSlot("stem", in_channels, widths[0], image_size, 3, 1))
+        self.stem_bn = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+        self.blocks: list[Module] = []
+        channels = widths[0]
+        spatial = image_size
+        for stage_index, (blocks, width) in enumerate(zip(blocks_per_stage, widths)):
+            for block_index in range(blocks):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                self.blocks.append(
+                    ResNeXtBlock(
+                        f"stage{stage_index}.block{block_index}",
+                        channels,
+                        width,
+                        width,
+                        cardinality,
+                        spatial,
+                        stride,
+                        conv_factory,
+                    )
+                )
+                channels = width
+                spatial //= stride
+        self.pool = AdaptiveAvgPool2d()
+        self.head = Linear(channels, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu(self.stem_bn(self.stem(x)))
+        for block in self.blocks:
+            out = block(out)
+        out = self.pool(out)
+        out = F.reshape(out, (out.shape[0], out.shape[1]))
+        return self.head(out)
+
+
+def resnext29(conv_factory: ConvFactory = default_conv_factory, num_classes: int = 10,
+              image_size: int = 8) -> ResNeXt:
+    """ResNeXt-29 (2x64d) scaled down: cardinality 2, three stages."""
+    return ResNeXt(
+        blocks_per_stage=(1, 1, 1),
+        widths=(8, 16, 32),
+        cardinality=2,
+        num_classes=num_classes,
+        image_size=image_size,
+        conv_factory=conv_factory,
+    )

@@ -1,0 +1,124 @@
+"""Module system: parameters, submodules, and a Sequential container."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable parameter of a module."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models (a minimal ``torch.nn.Module``)."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- forward -------------------------------------------------------------
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- parameter / module traversal ----------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full_name = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full_name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{index}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{index}", item
+            elif isinstance(value, dict):
+                for key, item in value.items():
+                    if isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full_name}.{key}.")
+                    elif isinstance(item, Parameter):
+                        yield f"{full_name}.{key}", item
+
+    def parameters(self) -> list[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+            elif isinstance(value, dict):
+                for item in value.values():
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    # -- training state -------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def parameter_count(self) -> int:
+        return int(np.sum([param.size for param in self.parameters()]))
+
+    # -- (de)serialization ------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = dict(self.named_parameters())
+        for name, value in state.items():
+            if name in params:
+                params[name].data = np.asarray(value, dtype=np.float64).copy()
+
+
+class Sequential(Module):
+    """Apply submodules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def append(self, layer: Module) -> "Sequential":
+        self.layers.append(layer)
+        return self
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

@@ -1,0 +1,117 @@
+"""Optimizers (SGD with momentum, Adam) and a cosine LR schedule."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the learning rate."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        self.parameters = list(parameters)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity += grad
+            param.data = param.data - self.lr * velocity
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (used for the GPT-2 workload)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad * grad
+            m_hat = m / (1 - beta1**self._t)
+            v_hat = v / (1 - beta2**self._t)
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay with optional warmup."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, warmup_steps: int = 0,
+                 min_lr_ratio: float = 0.05) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = max(total_steps, 1)
+        self.warmup_steps = warmup_steps
+        self.min_lr_ratio = min_lr_ratio
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step <= self.warmup_steps and self.warmup_steps > 0:
+            factor = self._step / self.warmup_steps
+        else:
+            progress = (self._step - self.warmup_steps) / max(
+                self.total_steps - self.warmup_steps, 1
+            )
+            progress = min(progress, 1.0)
+            factor = self.min_lr_ratio + (1 - self.min_lr_ratio) * 0.5 * (
+                1 + math.cos(math.pi * progress)
+            )
+        self.optimizer.lr = self.base_lr * factor
+        return self.optimizer.lr

@@ -1,0 +1,176 @@
+"""Accuracy and latency evaluation of candidate operators.
+
+``AccuracyEvaluator`` reproduces the paper's proxy-training step: substitute
+the candidate into the backbone, train briefly on the (synthetic) proxy
+dataset and report validation accuracy, terminating early for hopeless
+candidates.  ``LatencyEvaluator`` reproduces the tuning step: lower every
+slot's operator to a loop-nest program and compile it with the requested
+backend for the requested hardware target, summing the per-layer latencies
+into an end-to-end estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.codegen.loopnest import lower_to_loopnest
+from repro.compiler.backends import CompilerBackend, TuneResult, loopnest_for_slot
+from repro.compiler.targets import HardwareTarget
+from repro.core.operator import SynthesizedOperator
+from repro.ir.variables import Variable
+from repro.nn.data import SyntheticImageDataset
+from repro.nn.models.common import ConvSlot
+from repro.nn.trainer import Trainer, TrainingConfig
+from repro.search.extraction import (
+    DEFAULT_COEFFICIENT_VALUES,
+    binding_for_slot,
+    slot_is_substitutable,
+    substitutable_slots,
+)
+from repro.search.substitution import synthesized_conv_factory
+
+
+@dataclass
+class EvaluationSettings:
+    """Knobs shared by accuracy and latency evaluation."""
+
+    batch_size: int = 16
+    train_steps: int = 40
+    image_size: int = 8
+    num_classes: int = 10
+    dataset_size: int = 192
+    dataset_seed: int = 0
+    coefficients: Mapping[Variable, int] = field(
+        default_factory=lambda: dict(DEFAULT_COEFFICIENT_VALUES)
+    )
+
+
+class AccuracyEvaluator:
+    """Trains a backbone with the candidate operator substituted into it."""
+
+    def __init__(
+        self,
+        model_builder: Callable,
+        settings: EvaluationSettings | None = None,
+    ) -> None:
+        self.model_builder = model_builder
+        self.settings = settings or EvaluationSettings()
+        dataset = SyntheticImageDataset(
+            num_classes=self.settings.num_classes,
+            num_samples=self.settings.dataset_size,
+            image_size=self.settings.image_size,
+            seed=self.settings.dataset_seed,
+        )
+        self.train_set, self.val_set = dataset.split()
+        self._baseline_accuracy: float | None = None
+
+    def _train(self, conv_factory) -> float:
+        model = self.model_builder(conv_factory=conv_factory, image_size=self.settings.image_size,
+                                   num_classes=self.settings.num_classes)
+        trainer = Trainer(
+            model,
+            TrainingConfig(
+                max_steps=self.settings.train_steps,
+                batch_size=self.settings.batch_size,
+                eval_every=max(self.settings.train_steps // 2, 1),
+            ),
+        )
+        return trainer.fit_classifier(self.train_set, self.val_set).best_accuracy
+
+    def baseline_accuracy(self) -> float:
+        """Accuracy of the unmodified backbone (cached)."""
+        if self._baseline_accuracy is None:
+            from repro.nn.models.common import default_conv_factory
+
+            self._baseline_accuracy = self._train(default_conv_factory)
+        return self._baseline_accuracy
+
+    def evaluate(self, operator: SynthesizedOperator, seed: int = 0) -> float:
+        """Validation accuracy of the backbone with ``operator`` substituted in."""
+        factory = synthesized_conv_factory(
+            operator, coefficients=self.settings.coefficients, seed=seed
+        )
+        try:
+            return self._train(factory)
+        except Exception:
+            # Operators that cannot be instantiated for some layer binding
+            # (e.g. indivisible coefficient choices) receive zero reward.
+            return 0.0
+
+    def accuracy_loss(self, operator: SynthesizedOperator) -> float:
+        return self.baseline_accuracy() - self.evaluate(operator)
+
+
+@dataclass
+class LatencyEvaluator:
+    """End-to-end latency of a model under one compiler backend and target."""
+
+    slots: Sequence[ConvSlot]
+    backend: CompilerBackend
+    target: HardwareTarget
+    batch: int = 1
+    coefficients: Mapping[Variable, int] = field(
+        default_factory=lambda: dict(DEFAULT_COEFFICIENT_VALUES)
+    )
+
+    def baseline_latency(self) -> float:
+        """Latency (seconds) of the original model: every slot is a standard conv."""
+        total = 0.0
+        for slot in self.slots:
+            program = loopnest_for_slot(slot, batch=self.batch)
+            total += self.backend.compile(program, self.target).latency_seconds
+        return total
+
+    def _slot_program(self, slot: ConvSlot, operator: SynthesizedOperator | None):
+        """The loop-nest program executed at one slot (operator or standard conv).
+
+        Slots where the operator cannot be instantiated (non-substitutable
+        kinds, or channel counts the coefficient values do not divide) keep
+        their standard convolution, like the paper's per-model substitution.
+        """
+        if operator is not None and slot_is_substitutable(slot):
+            binding = binding_for_slot(slot, self.batch, self.coefficients)
+            try:
+                return lower_to_loopnest(operator, binding)
+            except Exception:
+                pass
+        return loopnest_for_slot(slot, batch=self.batch)
+
+    def substituted_latency(self, operator: SynthesizedOperator) -> float:
+        """Latency with ``operator`` substituted into every standard 3x3 slot."""
+        total = 0.0
+        for slot in self.slots:
+            program = self._slot_program(slot, operator)
+            total += self.backend.compile(program, self.target).latency_seconds
+        return total
+
+    def speedup(self, operator: SynthesizedOperator) -> float:
+        return self.baseline_latency() / max(self.substituted_latency(operator), 1e-12)
+
+    def layerwise(self, operator: SynthesizedOperator) -> list[tuple[ConvSlot, TuneResult, TuneResult]]:
+        """Per-slot (baseline, substituted) tuning results — used by Figure 9."""
+        results = []
+        for slot in substitutable_slots(self.slots):
+            baseline = self.backend.compile(loopnest_for_slot(slot, batch=self.batch), self.target)
+            binding = binding_for_slot(slot, self.batch, self.coefficients)
+            substituted = self.backend.compile(lower_to_loopnest(operator, binding), self.target)
+            results.append((slot, baseline, substituted))
+        return results
+
+    def macs(self, operator: SynthesizedOperator | None = None) -> int:
+        """Total MACs of the substitutable slots (original or substituted)."""
+        total = 0
+        for slot in substitutable_slots(self.slots):
+            if operator is None:
+                total += slot.macs(self.batch)
+                continue
+            binding = binding_for_slot(slot, self.batch, self.coefficients)
+            try:
+                total += lower_to_loopnest(operator, binding).macs
+            except Exception:
+                # Slots the coefficients do not divide keep their standard conv.
+                total += slot.macs(self.batch)
+        return total

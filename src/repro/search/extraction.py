@@ -1,0 +1,97 @@
+"""Operator extraction from backbone models (``ExtractOperators`` in Algorithm 1).
+
+A model builder is instantiated once with a :class:`RecordingFactory`; the
+recorded conv slots give both the symbolic operator specification (all
+standard 3x3 convolutions share one symbolic ``[N, C_in, H, W] ->
+[N, C_out, H, W]`` spec) and its per-layer concrete bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.library import C_IN, C_OUT, GROUPS, H, K1, N, SHRINK, W, conv2d_spec
+from repro.core.operator import OperatorSpec
+from repro.ir.size import Size
+from repro.ir.variables import Variable
+from repro.nn.models.common import ConvSlot, RecordingFactory
+
+#: Coefficient sizes made available to the synthesis of vision operators
+#: (the small primitive parameters: window, group count, bottleneck factor).
+VISION_COEFFICIENTS: tuple = (Size.of(K1), Size.of(GROUPS), Size.of(SHRINK))
+
+#: Default concrete values for the coefficient variables.
+DEFAULT_COEFFICIENT_VALUES: dict[Variable, int] = {K1: 3, GROUPS: 2, SHRINK: 2}
+
+
+def extract_conv_slots(model_builder: Callable, **builder_kwargs) -> list[ConvSlot]:
+    """Instantiate the model once with a recording factory and return its slots."""
+    recorder = RecordingFactory()
+    model_builder(conv_factory=recorder, **builder_kwargs)
+    return recorder.slots
+
+
+#: Channel-divisibility required by the coefficient variables (group count g
+#: times bottleneck factor s); slots that cannot satisfy it (e.g. the 3-channel
+#: stem) keep their standard convolution.
+COEFFICIENT_DIVISIBILITY = 4
+
+
+def slot_is_substitutable(slot: ConvSlot) -> bool:
+    """Whether a slot is a standard 3x3 convolution with divisible channels.
+
+    Strided convolutions keep their standard implementation: the synthesized
+    operators are stride-1 drop-ins (Section 4 fixes the input/output shapes),
+    and the handful of stride-2 downsampling layers contribute little to the
+    end-to-end latency.
+    """
+    return (
+        slot.kernel_size == 3
+        and slot.groups == 1
+        and slot.stride == 1
+        and slot.in_channels % COEFFICIENT_DIVISIBILITY == 0
+        and slot.out_channels % COEFFICIENT_DIVISIBILITY == 0
+    )
+
+
+def substitutable_slots(slots: Sequence[ConvSlot]) -> list[ConvSlot]:
+    """Standard (non-grouped) 3x3 convolutions — the paper's substitution targets."""
+    return [slot for slot in slots if slot_is_substitutable(slot)]
+
+
+def binding_for_slot(
+    slot: ConvSlot,
+    batch: int,
+    coefficients: Mapping[Variable, int] | None = None,
+) -> dict[Variable, int]:
+    binding = {
+        N: batch,
+        C_IN: slot.in_channels,
+        C_OUT: slot.out_channels,
+        H: slot.spatial,
+        W: slot.spatial,
+    }
+    binding.update(coefficients or DEFAULT_COEFFICIENT_VALUES)
+    return binding
+
+
+def conv_spec_from_slots(
+    slots: Sequence[ConvSlot],
+    batch: int = 1,
+    coefficients: Mapping[Variable, int] | None = None,
+) -> OperatorSpec:
+    """Build the symbolic conv spec with one concrete binding per eligible slot."""
+    eligible = substitutable_slots(slots)
+    if not eligible:
+        raise ValueError("model has no substitutable 3x3 convolution slots")
+    bindings = tuple(binding_for_slot(slot, batch, coefficients) for slot in eligible)
+    return conv2d_spec(bindings=bindings)
+
+
+def original_macs(slots: Sequence[ConvSlot], batch: int = 1) -> int:
+    """Total MACs of the standard convolutions in the substitutable slots."""
+    return sum(slot.macs(batch) for slot in substitutable_slots(slots))
+
+
+def original_parameters(slots: Sequence[ConvSlot]) -> int:
+    return sum(slot.parameters() for slot in substitutable_slots(slots))

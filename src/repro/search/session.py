@@ -1,0 +1,160 @@
+"""The end-to-end search session (Algorithm 1, ``Search``).
+
+A :class:`SearchSession` ties everything together for one backbone model:
+
+1. extract the conv slots and build the symbolic operator spec;
+2. run MCTS over the primitive space, rewarding candidates by proxy-training
+   accuracy under a hard MACs budget;
+3. keep the candidates whose accuracy loss is within the margin (the paper
+   uses 1%) and evaluate their end-to-end latency on every requested
+   (compiler, target) pair;
+4. report the Pareto-relevant candidates sorted by latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.compiler.backends import CompilerBackend, TVMBackend
+from repro.compiler.targets import HardwareTarget, MOBILE_CPU
+from repro.core.enumeration import EnumerationOptions, default_options_for
+from repro.core.mcts import MCTS, MCTSConfig, SampleRecord
+from repro.core.operator import OperatorSpec, SynthesizedOperator
+from repro.search.evaluator import AccuracyEvaluator, EvaluationSettings, LatencyEvaluator
+from repro.search.extraction import (
+    VISION_COEFFICIENTS,
+    conv_spec_from_slots,
+    extract_conv_slots,
+    original_macs,
+)
+
+
+@dataclass
+class SearchConfig:
+    """Hyper-parameters of one search session."""
+
+    max_depth: int = 8
+    mcts_iterations: int = 24
+    mcts_seed: int = 0
+    #: hard MACs budget as a multiple of the original convolutions' MACs.
+    macs_budget_ratio: float = 1.0
+    #: admissible accuracy loss relative to the baseline (the paper uses 1%).
+    accuracy_margin: float = 0.01
+    evaluation: EvaluationSettings = field(default_factory=EvaluationSettings)
+
+
+@dataclass
+class CandidateResult:
+    """One evaluated candidate: accuracy and per-(backend, target) latencies."""
+
+    operator: SynthesizedOperator
+    accuracy: float
+    accuracy_loss: float
+    macs: int
+    parameters: int
+    latencies: dict[tuple[str, str], float] = field(default_factory=dict)
+    speedups: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def best_speedup(self) -> float:
+        return max(self.speedups.values(), default=0.0)
+
+
+class SearchSession:
+    """Searches substitutions for one backbone model (Algorithm 1)."""
+
+    def __init__(
+        self,
+        model_builder: Callable,
+        config: SearchConfig | None = None,
+        backends: Sequence[CompilerBackend] | None = None,
+        targets: Sequence[HardwareTarget] | None = None,
+    ) -> None:
+        self.model_builder = model_builder
+        self.config = config or SearchConfig()
+        self.backends = list(backends) if backends is not None else [TVMBackend(trials=32)]
+        self.targets = list(targets) if targets is not None else [MOBILE_CPU]
+
+        self.slots = extract_conv_slots(
+            model_builder,
+            image_size=self.config.evaluation.image_size,
+            num_classes=self.config.evaluation.num_classes,
+        )
+        self.spec: OperatorSpec = conv_spec_from_slots(
+            self.slots,
+            batch=self.config.evaluation.batch_size,
+            coefficients=self.config.evaluation.coefficients,
+        )
+        self.accuracy_evaluator = AccuracyEvaluator(model_builder, self.config.evaluation)
+        self.original_macs = original_macs(self.slots, batch=self.config.evaluation.batch_size)
+
+    # -- synthesis ----------------------------------------------------------
+
+    def enumeration_options(self) -> EnumerationOptions:
+        options = default_options_for(
+            self.spec,
+            coefficients=VISION_COEFFICIENTS,
+            max_depth=self.config.max_depth,
+            macs_budget_ratio=self.config.macs_budget_ratio,
+            reference_macs=self.original_macs
+            // max(len([s for s in self.slots if s.kernel_size == 3 and s.groups == 1]), 1),
+        )
+        return options
+
+    def run(self, iterations: int | None = None) -> list[CandidateResult]:
+        """Run the MCTS search and return accuracy-qualified candidates."""
+        options = self.enumeration_options()
+        search = MCTS(
+            spec=self.spec,
+            options=options,
+            reward_fn=lambda operator: self.accuracy_evaluator.evaluate(operator),
+            config=MCTSConfig(
+                iterations=iterations if iterations is not None else self.config.mcts_iterations,
+                seed=self.config.mcts_seed,
+            ),
+        )
+        samples = search.run()
+        return self.evaluate_candidates(samples)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_candidates(self, samples: Sequence[SampleRecord]) -> list[CandidateResult]:
+        baseline = self.accuracy_evaluator.baseline_accuracy()
+        results: list[CandidateResult] = []
+        for record in samples:
+            loss = baseline - record.reward
+            if loss > self.config.accuracy_margin:
+                continue
+            results.append(self.evaluate_operator(record.operator, accuracy=record.reward))
+        results.sort(key=lambda result: min(result.latencies.values(), default=float("inf")))
+        return results
+
+    def evaluate_operator(
+        self, operator: SynthesizedOperator, accuracy: float | None = None
+    ) -> CandidateResult:
+        """Latency-evaluate one operator across every (backend, target) pair."""
+        if accuracy is None:
+            accuracy = self.accuracy_evaluator.evaluate(operator)
+        baseline_accuracy = self.accuracy_evaluator.baseline_accuracy()
+        binding = dict(self.spec.bindings[0]) if self.spec.bindings else {}
+        result = CandidateResult(
+            operator=operator,
+            accuracy=accuracy,
+            accuracy_loss=baseline_accuracy - accuracy,
+            macs=operator.macs(binding),
+            parameters=operator.parameter_count(binding),
+        )
+        for backend in self.backends:
+            for target in self.targets:
+                evaluator = LatencyEvaluator(
+                    slots=self.slots,
+                    backend=backend,
+                    target=target,
+                    batch=1,
+                    coefficients=self.config.evaluation.coefficients,
+                )
+                latency = evaluator.substituted_latency(operator)
+                key = (backend.name, target.name)
+                result.latencies[key] = latency
+                result.speedups[key] = evaluator.baseline_latency() / max(latency, 1e-12)
+        return result

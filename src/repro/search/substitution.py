@@ -1,0 +1,154 @@
+"""Drop-in modules that place a synthesized operator into a backbone model.
+
+The substituted module has the same interface as the layer it replaces
+(``Conv2d`` or the QKV ``Linear``): same input/output tensor shapes, with the
+model topology and non-linearities untouched (Section 4).  Strided slots are
+handled by applying the (stride-1) synthesized operator at full resolution and
+average-pooling its output, which preserves the output shape of the original
+strided convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codegen.eager import EagerOperator
+from repro.core.library import C_IN, C_OUT, GROUPS, H, K, K1, M, N, OUT_FEATURES, SHRINK, W
+from repro.core.operator import SynthesizedOperator
+from repro.ir.variables import Variable
+from repro.nn.layers import AvgPool2d
+from repro.nn.models.common import ConvSlot
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class SynthesizedConv2d(Module):
+    """A synthesized operator used as a drop-in replacement for a 3x3 conv.
+
+    The operator is lowered lazily per batch size (the symbolic ``N`` is the
+    only binding entry that varies at run time); all instantiations share the
+    same weight parameters.
+    """
+
+    def __init__(
+        self,
+        operator: SynthesizedOperator,
+        slot: ConvSlot,
+        coefficients: Mapping[Variable, int] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.operator = operator
+        self.slot = slot
+        self.coefficients = dict(coefficients or {K1: 3, GROUPS: 2, SHRINK: 2})
+        self._rng = rng or np.random.default_rng(0)
+        self._instances: dict[int, EagerOperator] = {}
+        self.pool = AvgPool2d(slot.stride) if slot.stride > 1 else None
+        # Materialize the parameters with a canonical batch size of 1 so that
+        # optimizers see them before the first forward pass.
+        self._prototype = self._instantiate(1)
+        self.weights = self._prototype.weights
+
+    def binding_for(self, batch: int) -> dict[Variable, int]:
+        binding = {
+            N: batch,
+            C_IN: self.slot.in_channels,
+            C_OUT: self.slot.out_channels,
+            H: self.slot.spatial,
+            W: self.slot.spatial,
+        }
+        binding.update(self.coefficients)
+        return binding
+
+    def _instantiate(self, batch: int) -> EagerOperator:
+        if batch not in self._instances:
+            shared = self._instances[1].weights if 1 in self._instances else None
+            self._instances[batch] = EagerOperator(
+                self.operator, self.binding_for(batch), rng=self._rng, weights=shared
+            )
+        return self._instances[batch]
+
+    def forward(self, x: Tensor) -> Tensor:
+        module = self._instantiate(x.shape[0])
+        out = module(x)
+        if self.pool is not None:
+            out = self.pool(out)
+        return out
+
+
+class SynthesizedLinear(Module):
+    """A synthesized operator replacing a dense projection (GPT-2 QKV slots).
+
+    The matmul slot is two-dimensional (``[M, K] -> [M, F]``); inputs of shape
+    ``[batch, seq, features]`` are flattened to ``[batch*seq, features]``.
+    """
+
+    def __init__(
+        self,
+        operator: SynthesizedOperator,
+        in_features: int,
+        out_features: int,
+        coefficients: Mapping[Variable, int] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.operator = operator
+        self.in_features = in_features
+        self.out_features = out_features
+        self.coefficients = dict(coefficients or {GROUPS: 2, SHRINK: 2, K1: 3})
+        self._rng = rng or np.random.default_rng(0)
+        self._instances: dict[int, EagerOperator] = {}
+        self._prototype = self._instantiate(1)
+        self.weights = self._prototype.weights
+
+    def binding_for(self, rows: int) -> dict[Variable, int]:
+        binding = {M: rows, K: self.in_features, OUT_FEATURES: self.out_features}
+        binding.update(self.coefficients)
+        return binding
+
+    def _instantiate(self, rows: int) -> EagerOperator:
+        if rows not in self._instances:
+            shared = next(iter(self._instances.values())).weights if self._instances else None
+            self._instances[rows] = EagerOperator(
+                self.operator, self.binding_for(rows), rng=self._rng, weights=shared
+            )
+        return self._instances[rows]
+
+    def forward(self, x: Tensor) -> Tensor:
+        from repro.nn import functional as F
+
+        original_shape = x.shape
+        rows = int(np.prod(original_shape[:-1]))
+        flat = F.reshape(x, (rows, original_shape[-1]))
+        out = self._instantiate(rows)(flat)
+        return F.reshape(out, tuple(original_shape[:-1]) + (self.out_features,))
+
+
+def synthesized_conv_factory(
+    operator: SynthesizedOperator,
+    coefficients: Mapping[Variable, int] | None = None,
+    substitute_grouped: bool = False,
+    seed: int = 0,
+):
+    """A conv factory substituting ``operator`` into every standard 3x3 slot.
+
+    Grouped / depthwise / 1x1 slots keep their standard convolution (they are
+    not substitution targets), matching the paper's setup of replacing the
+    standard convolutions only.
+    """
+    from repro.nn.models.common import default_conv_factory
+    from repro.search.extraction import slot_is_substitutable
+
+    rng = np.random.default_rng(seed)
+
+    def factory(slot: ConvSlot) -> Module:
+        eligible = slot_is_substitutable(slot) or (
+            substitute_grouped and slot.kernel_size == 3 and slot.groups > 1
+        )
+        if not eligible:
+            return default_conv_factory(slot)
+        return SynthesizedConv2d(operator, slot, coefficients=coefficients, rng=rng)
+
+    return factory

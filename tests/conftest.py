@@ -1,0 +1,55 @@
+"""Shared fixtures: concrete bindings and specs used across the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.library import (
+    BLOCK,
+    C_IN,
+    C_OUT,
+    GROUPS,
+    H,
+    K,
+    K1,
+    M,
+    N,
+    OUT_FEATURES,
+    POOL,
+    SHRINK,
+    W,
+    conv2d_spec,
+    matmul_spec,
+)
+
+
+@pytest.fixture
+def conv_binding() -> dict:
+    """A small but non-trivial convolution binding."""
+    return {N: 2, C_IN: 8, C_OUT: 8, H: 6, W: 6, K1: 3, GROUPS: 4, SHRINK: 2}
+
+
+@pytest.fixture
+def matmul_binding() -> dict:
+    return {M: 4, K: 6, OUT_FEATURES: 5}
+
+
+@pytest.fixture
+def pool_binding() -> dict:
+    return {H: 12, POOL: 3, BLOCK: 2}
+
+
+@pytest.fixture
+def conv_spec_bound(conv_binding):
+    return conv2d_spec(bindings=(conv_binding,))
+
+
+@pytest.fixture
+def matmul_spec_bound(matmul_binding):
+    return matmul_spec(bindings=(matmul_binding,))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

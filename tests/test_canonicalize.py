@@ -1,0 +1,138 @@
+"""Tests for the canonicalization rules (Section 6)."""
+
+from __future__ import annotations
+
+from repro.core.canonicalize import (
+    CanonicalizationEngine,
+    canonical_commuting_order,
+    no_expand_of_reduction,
+    no_merge_above_split,
+    no_merge_above_unfold,
+    no_shift_chains,
+    no_split_undoing_merge,
+    stride_paired_with_one_to_many,
+    unfold_single_reduction,
+)
+from repro.core.pgraph import PGraph
+from repro.core.primitives import Expand, Merge, Reduce, Share, Shift, Split, Stride, Unfold
+from repro.ir.shape import ShapeSpec
+from repro.ir.size import Size
+from repro.ir.variables import coefficient, primary
+
+A = primary("A", default=8)
+B = coefficient("b", default=2)
+C = coefficient("c", default=3)
+H = primary("H", default=12)
+
+
+def _root(output, input_shape) -> PGraph:
+    return PGraph.root(ShapeSpec.of(output), ShapeSpec.of(input_shape))
+
+
+class TestMergeSplitRules:
+    def test_merge_above_split_rejected(self):
+        """Figure 3a: the Split-then-Merge form is not canonical."""
+        graph = _root([Size.of(A) * B, C], [A, Size.of(B) * C])
+        graph = Split().apply(graph, (graph.frontier[0], graph.frontier[1]))
+        produced = graph.frontier[0]
+        assert not no_merge_above_split(graph, Merge(block=Size.of(B) * C), (produced,))
+
+    def test_merge_elsewhere_allowed(self):
+        graph = _root([Size.of(A) * B, C], [A, B, C])
+        assert no_merge_above_split(graph, Merge(block=Size.of(B)), (graph.frontier[0],))
+
+    def test_split_undoing_merge_rejected(self):
+        graph = _root([Size.of(A) * B], [Size.of(A) * B])
+        graph = Merge(block=Size.of(B)).apply(graph, (graph.frontier[0],))
+        outer, inner = graph.last_application.produced
+        assert not no_split_undoing_merge(graph, Split(), (outer, inner))
+        # Recombining in the swapped order is a genuine pixel-shuffle, allowed.
+        assert no_split_undoing_merge(graph, Split(), (inner, outer))
+
+    def test_merge_above_unfold_rejected(self):
+        graph = _root([Size.of(A) * B], [Size.of(A) * B, C])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        window = graph.frontier[-1]
+        graph = Unfold().apply(graph, (graph.frontier[0], window))
+        unfolded = graph.frontier[0]
+        assert not no_merge_above_unfold(graph, Merge(block=Size.of(B)), (unfolded,))
+
+
+class TestContractionRules:
+    def test_expand_of_unshared_reduction_rejected(self):
+        graph = _root([A], [A])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        reduction = graph.frontier[-1]
+        assert not no_expand_of_reduction(graph, Expand(), (reduction,))
+
+    def test_expand_of_shared_reduction_allowed(self):
+        """The low-rank pattern: a reduction living only on weights is fine."""
+        graph = _root([A], [A])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        reduction = graph.frontier[-1]
+        graph = Share(new_weight=True).apply(graph, (reduction,))
+        assert no_expand_of_reduction(graph, Expand(), (reduction,))
+
+    def test_unfold_with_two_reductions_rejected(self):
+        graph = _root([A], [A])
+        graph = Reduce(size=Size.of(B)).apply(graph, ())
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        r1, r2 = graph.frontier[-2], graph.frontier[-1]
+        assert not unfold_single_reduction(graph, Unfold(), (r1, r2))
+
+    def test_unfold_with_one_reduction_allowed(self):
+        graph = _root([A], [A])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        assert unfold_single_reduction(graph, Unfold(), (graph.frontier[0], graph.frontier[-1]))
+
+
+class TestViewHygieneRules:
+    def test_shift_chain_rejected(self):
+        graph = _root([A], [A])
+        graph = Shift(amount=1).apply(graph, (graph.frontier[0],))
+        assert not no_shift_chains(graph, Shift(amount=1), (graph.frontier[0],))
+
+    def test_stride_requires_one_to_many_budget(self):
+        graph = _root([A], [A])
+        assert stride_paired_with_one_to_many(graph, Stride(stride=Size.of(B)), (graph.frontier[0],))
+        graph = Stride(stride=Size.of(B)).apply(graph, (graph.frontier[0],))
+        assert not stride_paired_with_one_to_many(
+            graph, Stride(stride=Size.of(B)), (graph.frontier[0],)
+        )
+
+
+class TestCommutingOrder:
+    def test_view_after_commuting_contraction_rejected(self):
+        """Figure 3b: 1-to-1 views are pushed below contractions."""
+        graph = _root([A, H], [A, H, C])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        # A Shift on an unrelated output dim commutes with the Reduce, so the
+        # canonical order is Shift first.
+        assert not canonical_commuting_order(graph, Shift(amount=1), (graph.frontier[0],))
+
+    def test_dependent_view_allowed(self):
+        graph = _root([A, H], [A, H, C])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        reduction = graph.frontier[-1]
+        # Touching what the Reduce produced does not commute, so it is allowed.
+        assert canonical_commuting_order(graph, Share(new_weight=True), (reduction,))
+
+    def test_contraction_after_view_allowed(self):
+        graph = _root([A, H], [A, H, C])
+        graph = Shift(amount=1).apply(graph, (graph.frontier[0],))
+        assert canonical_commuting_order(graph, Reduce(size=Size.of(C)), ())
+
+
+class TestEngine:
+    def test_engine_combines_rules(self):
+        engine = CanonicalizationEngine()
+        graph = _root([A], [A])
+        graph = Shift(amount=1).apply(graph, (graph.frontier[0],))
+        assert not engine.is_canonical(graph, Shift(amount=1), (graph.frontier[0],))
+
+    def test_engine_is_extensible(self):
+        engine = CanonicalizationEngine()
+        engine.add_rule(lambda graph, primitive, operands: not isinstance(primitive, Shift))
+        graph = _root([A], [A])
+        assert not engine.is_canonical(graph, Shift(amount=1), (graph.frontier[0],))
+        assert engine.is_canonical(graph, Reduce(size=Size.of(C)), ())

@@ -1,0 +1,138 @@
+"""Tests for guided enumeration (Algorithm 1) and the MCTS search."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enumeration import (
+    EnumerationOptions,
+    default_options_for,
+    enumerate_children,
+    synthesize,
+)
+from repro.core.library import C_IN, C_OUT, H, K, K1, M, N, OUT_FEATURES, W, conv2d_spec, matmul_spec
+from repro.core.mcts import MCTS, MCTSConfig
+from repro.core.pgraph import PGraph
+from repro.core.primitives import Reduce, Share
+from repro.ir.size import Size
+
+
+def _matmul_options(max_depth: int = 3) -> EnumerationOptions:
+    spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+    return default_options_for(spec, coefficients=[], max_depth=max_depth)
+
+
+class TestEnumerateChildren:
+    def test_root_children_nonempty_and_canonical(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options()
+        root = PGraph.root(spec.output_shape, spec.input_shape)
+        children = enumerate_children(root, options)
+        assert children
+        signatures = [child.signature() for _, child in children]
+        assert len(signatures) == len(set(signatures))
+
+    def test_children_respect_occurrence_limits(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options()
+        options.max_reductions = 0
+        root = PGraph.root(spec.output_shape, spec.input_shape)
+        children = enumerate_children(root, options)
+        assert not any(isinstance(action.primitive, Reduce) for action, _ in children)
+
+    def test_disabling_canonicalization_yields_more_children(self):
+        spec = conv2d_spec(bindings=({N: 1, C_IN: 4, C_OUT: 4, H: 4, W: 4, K1: 3},))
+        options = default_options_for(spec, coefficients=[K1], max_depth=4)
+        root = PGraph.root(spec.output_shape, spec.input_shape)
+        graph = Reduce(size=Size.of(K1)).apply(root, ())
+        with_canon = len(enumerate_children(graph, options))
+        options.canonicalizer = None
+        without_canon = len(enumerate_children(graph, options))
+        assert without_canon >= with_canon
+
+
+class TestSynthesize:
+    def test_matmul_is_discoverable(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options(max_depth=3)
+        results, stats = synthesize(spec, options, max_results=16, max_nodes=4000)
+        assert results, "guided synthesis should find at least one valid operator"
+        assert stats.completed == len(results)
+        # At least one discovered operator is the plain matmul: Reduce + Share.
+        assert any(
+            result.graph.count_primitive(Reduce) == 1 and result.graph.count_primitive(Share) == 1
+            for result in results
+        )
+
+    def test_all_results_are_complete_and_within_budget(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options(max_depth=3)
+        options.max_macs = 4 * 6 * 5 * 10
+        results, _ = synthesize(spec, options, max_results=8, max_nodes=4000)
+        for result in results:
+            assert result.graph.is_complete
+            assert result.graph.macs({M: 4, K: 6, OUT_FEATURES: 5}) <= options.max_macs
+
+    def test_shape_distance_prunes_nodes(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        guided = _matmul_options(max_depth=3)
+        unguided = _matmul_options(max_depth=3)
+        unguided.use_shape_distance = False
+        _, stats_guided = synthesize(spec, guided, max_results=4, max_nodes=800,
+                                     rng=random.Random(0))
+        _, stats_unguided = synthesize(spec, unguided, max_results=4, max_nodes=800,
+                                       rng=random.Random(0))
+        assert stats_guided.pruned_by_distance > 0
+        # Guidance should not reduce the yield under the same node budget.
+        assert stats_guided.completed >= stats_unguided.completed
+
+    def test_results_deduplicated_by_signature(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options(max_depth=3)
+        results, _ = synthesize(spec, options, max_results=32, max_nodes=4000)
+        signatures = [result.graph.signature() for result in results]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestMCTS:
+    def _reward(self, operator) -> float:
+        """A cheap synthetic reward: prefer operators with parameters."""
+        binding = {M: 4, K: 6, OUT_FEATURES: 5}
+        params = operator.parameter_count(binding)
+        return min(params / 100.0, 1.0)
+
+    def test_mcts_finds_rewarding_operators(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options(max_depth=3)
+        search = MCTS(spec=spec, options=options, reward_fn=self._reward,
+                      config=MCTSConfig(iterations=60, seed=1))
+        samples = search.run()
+        assert samples, "MCTS should evaluate at least one complete operator"
+        assert search.best_operator() is not None
+        assert samples[0].reward >= samples[-1].reward
+
+    def test_mcts_respects_flops_budget(self):
+        binding = {M: 4, K: 6, OUT_FEATURES: 5}
+        spec = matmul_spec(bindings=(binding,))
+        options = _matmul_options(max_depth=3)
+        options.max_macs = 4 * 6 * 5  # exactly one contraction worth of MACs
+        search = MCTS(spec=spec, options=options, reward_fn=self._reward,
+                      config=MCTSConfig(iterations=40, seed=2))
+        for record in search.run():
+            assert record.operator.macs(binding) <= options.max_macs
+
+    def test_mcts_deduplicates_evaluations(self):
+        spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+        options = _matmul_options(max_depth=2)
+        calls = []
+
+        def reward(operator):
+            calls.append(operator.graph.signature())
+            return 0.5
+
+        search = MCTS(spec=spec, options=options, reward_fn=reward,
+                      config=MCTSConfig(iterations=50, seed=3))
+        search.run()
+        assert len(calls) == len(set(calls))

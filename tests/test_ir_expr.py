@@ -1,0 +1,112 @@
+"""Tests for coordinate expressions and the term-rewrite simplifier."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.ir.expr import Add, Const, FloorDiv, Iterator, Mod, Mul, simplify
+from repro.ir.size import Size
+from repro.ir.variables import coefficient, primary
+
+B = coefficient("B", default=4)
+C = coefficient("C", default=3)
+N = primary("N", default=24)
+
+
+def _iterator(name: str, size) -> Iterator:
+    return Iterator(name, Size.of(size))
+
+
+class TestEvaluation:
+    def test_iterator_and_const(self):
+        i = _iterator("i", N)
+        expr = i + Const(2)
+        assert expr.evaluate({i: 5}) == 7
+
+    def test_mul_div_mod(self):
+        i = _iterator("i", N)
+        expr = Mod(FloorDiv(Mul(i, Size.of(B)), Size.of(2)), Size.of(C))
+        # ((i * 4) / 2) % 3 with i = 5 -> (20 / 2) % 3 = 10 % 3 = 1
+        assert expr.evaluate({i: 5}, {B: 4, C: 3}) == 1
+
+    def test_iterators_collected(self):
+        i, j = _iterator("i", N), _iterator("j", B)
+        expr = Add((Mul(i, Size.of(B)), j))
+        assert expr.iterators() == frozenset({i, j})
+
+
+class TestSimplification:
+    def test_constant_folding_in_add(self):
+        i = _iterator("i", N)
+        expr = Add((i, Const(2), Const(3)))
+        simplified = simplify(expr)
+        assert repr(simplified) == repr(Add((i, Const(5))))
+
+    def test_mul_by_one_removed(self):
+        i = _iterator("i", N)
+        assert repr(simplify(Mul(i, Size.one()))) == "i"
+
+    def test_div_by_one_removed(self):
+        i = _iterator("i", N)
+        assert repr(simplify(FloorDiv(i, Size.one()))) == "i"
+
+    def test_mod_identity_when_bounded(self):
+        # i has domain B, so i % B == i.
+        i = _iterator("i", B)
+        assert repr(simplify(Mod(i, Size.of(B)))) == "i"
+
+    def test_div_zero_when_bounded(self):
+        i = _iterator("i", B)
+        assert repr(simplify(FloorDiv(i, Size.of(B)))) == "0"
+
+    def test_mod_of_scaled_iterator(self):
+        """(B*i) % (B*C) -> B * (i % C), the paper's Section 3 identity."""
+        i = _iterator("i", N)
+        expr = Mod(Mul(i, Size.of(B)), Size.of(B) * Size.of(C))
+        simplified = simplify(expr)
+        assert repr(simplified) == repr(Mul(Mod(i, Size.of(C)), Size.of(B)))
+
+    def test_div_of_scaled_iterator(self):
+        """(B*i) / (B*C) -> i / C."""
+        i = _iterator("i", N)
+        expr = FloorDiv(Mul(i, Size.of(B)), Size.of(B) * Size.of(C))
+        simplified = simplify(expr)
+        assert repr(simplified) == repr(FloorDiv(i, Size.of(C)))
+
+    def test_distribution_over_addition(self):
+        i, j = _iterator("i", N), _iterator("j", B)
+        expr = Mul(Add((i, j)), Size.of(C))
+        simplified = simplify(expr)
+        assert isinstance(simplified, Add)
+
+    def test_nested_div_combines(self):
+        i = _iterator("i", N)
+        expr = FloorDiv(FloorDiv(i, Size.of(B)), Size.of(C))
+        simplified = simplify(expr)
+        assert repr(simplified) == repr(FloorDiv(i, Size.of(B) * Size.of(C)))
+
+    def test_fixed_point_is_idempotent(self):
+        i = _iterator("i", N)
+        expr = Mod(Mul(i, Size.of(B)), Size.of(B) * Size.of(C))
+        once = simplify(expr)
+        assert repr(simplify(once)) == repr(once)
+
+
+@given(
+    i_value=st.integers(min_value=0, max_value=23),
+    b=st.sampled_from([2, 3, 4]),
+    c=st.sampled_from([2, 3, 5]),
+)
+def test_property_simplification_preserves_value(i_value: int, b: int, c: int):
+    """Simplified expressions evaluate identically on every point."""
+    i = _iterator("i", N)
+    bindings = {B: b, C: c}
+    expressions = [
+        Mod(Mul(i, Size.of(B)), Size.of(B) * Size.of(C)),
+        FloorDiv(Mul(i, Size.of(B)), Size.of(B) * Size.of(C)),
+        Mul(Add((i, Const(1))), Size.of(C)),
+        FloorDiv(FloorDiv(i, Size.of(B)), Size.of(C)),
+    ]
+    for expr in expressions:
+        simplified = simplify(expr)
+        assert expr.evaluate({i: i_value}, bindings) == simplified.evaluate({i: i_value}, bindings)

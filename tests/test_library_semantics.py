@@ -1,0 +1,181 @@
+"""End-to-end semantic tests: library pGraphs lowered eagerly vs numpy references.
+
+These are the strongest correctness tests in the suite: they check that the
+primitive semantics of Table 1, composed into whole operators (Table 2,
+Figure 2, Figure 7), reproduce the exact numerics of hand-written references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codegen.eager import lower_to_module
+from repro.core.library import (
+    BLOCK,
+    C_IN,
+    C_OUT,
+    GROUPS,
+    H,
+    K,
+    K1,
+    M,
+    N,
+    OUT_FEATURES,
+    POOL,
+    SHRINK,
+    W,
+    build_avgpool,
+    build_conv2d,
+    build_matmul,
+    build_operator1,
+    build_operator2,
+    build_pixelshuffle,
+    build_shift_conv,
+)
+from repro.nn.tensor import Tensor
+
+
+def _forward(operator, binding, x, seed=0):
+    module = lower_to_module(operator, binding, rng=np.random.default_rng(seed))
+    return module, module(Tensor(x)).data
+
+
+class TestMatmul:
+    def test_matches_numpy_matmul(self, rng):
+        binding = {M: 5, K: 7, OUT_FEATURES: 4}
+        x = rng.normal(size=(5, 7))
+        module, y = _forward(build_matmul(), binding, x)
+        weight = module.weights[0].data  # [K, F]
+        np.testing.assert_allclose(y, x @ weight, rtol=1e-10)
+
+    def test_parameter_count(self):
+        operator = build_matmul()
+        assert operator.parameter_count({M: 5, K: 7, OUT_FEATURES: 4}) == 28
+
+    def test_macs(self):
+        operator = build_matmul()
+        assert operator.macs({M: 5, K: 7, OUT_FEATURES: 4}) == 5 * 7 * 4
+
+
+class TestConv2d:
+    def test_matches_direct_convolution(self, rng):
+        binding = {N: 2, C_IN: 3, C_OUT: 4, H: 6, W: 5, K1: 3}
+        x = rng.normal(size=(2, 3, 6, 5))
+        module, y = _forward(build_conv2d(), binding, x)
+        weight = module.weights[0].data  # [C_in, C_out, K, K]
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        reference = np.zeros((2, 4, 6, 5))
+        for kh in range(3):
+            for kw in range(3):
+                reference += np.einsum(
+                    "nchw,cd->ndhw", padded[:, :, kh : kh + 6, kw : kw + 5], weight[:, :, kh, kw]
+                )
+        np.testing.assert_allclose(y, reference, rtol=1e-10)
+
+    def test_parameter_count_matches_standard_conv(self):
+        binding = {N: 1, C_IN: 8, C_OUT: 16, H: 8, W: 8, K1: 3}
+        assert build_conv2d().parameter_count(binding) == 8 * 16 * 3 * 3
+
+    def test_macs_match_standard_conv(self):
+        binding = {N: 1, C_IN: 8, C_OUT: 16, H: 8, W: 8, K1: 3}
+        assert build_conv2d().macs(binding) == 16 * 8 * 8 * 8 * 3 * 3
+
+    def test_gradients_flow_to_input_and_weights(self, rng):
+        binding = {N: 1, C_IN: 2, C_OUT: 2, H: 4, W: 4, K1: 3}
+        module = lower_to_module(build_conv2d(), binding, rng=rng)
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        y = module(x)
+        y.sum().backward()
+        assert x.grad is not None and np.any(x.grad != 0)
+        assert module.weights[0].grad is not None and np.any(module.weights[0].grad != 0)
+
+
+class TestPoolingAndViews:
+    def test_avgpool_is_window_sum(self):
+        binding = {H: 12, POOL: 3}
+        x = np.arange(12.0)
+        _, y = _forward(build_avgpool(), binding, x)
+        np.testing.assert_allclose(y, x.reshape(4, 3).sum(axis=1))
+
+    def test_pixelshuffle_permutation(self):
+        binding = {H: 12, BLOCK: 3}
+        x = np.arange(12.0)
+        _, y = _forward(build_pixelshuffle(), binding, x)
+        reference = np.array([x[(12 // 3) * (i % 3) + i // 3] for i in range(12)])
+        np.testing.assert_allclose(y, reference)
+
+    def test_pixelshuffle_has_no_parameters_or_macs_beyond_copy(self):
+        operator = build_pixelshuffle()
+        assert operator.parameter_count({H: 12, BLOCK: 3}) == 0
+
+
+class TestCaseStudyOperators:
+    BINDING = {N: 1, C_IN: 8, C_OUT: 16, H: 6, W: 6, K1: 3, GROUPS: 4, SHRINK: 2}
+
+    def test_operator1_output_shape(self, rng):
+        x = rng.normal(size=(1, 8, 6, 6))
+        _, y = _forward(build_operator1(), self.BINDING, x)
+        assert y.shape == (1, 16, 6, 6)
+
+    def test_operator1_matches_listing2_semantics(self, rng):
+        """Check against a direct implementation of the Listing 2 semantics."""
+        x = rng.normal(size=(1, 8, 6, 6))
+        module, y = _forward(build_operator1(), self.BINDING, x)
+        w1 = module.weights[0].data  # [e, g, c', k1]
+        w2 = module.weights[1].data  # [k1(j2), C_out, e, g, k1(j1)]
+        n, cin, height, width = x.shape
+        cout, k1, g, s = 16, 3, 4, 2
+        e_dim, cpg = cout // g // s, cin // g
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        reference = np.zeros((n, cout, height, width))
+        for j2 in range(k1):
+            for j1 in range(k1):
+                window = padded[:, :, j2 : j2 + height, j1 : j1 + width]
+                window = window.reshape(n, g, cpg, height, width)
+                reference += np.einsum(
+                    "ngchw,egc,deg->ndhw", window, w1[:, :, :, j1], w2[j2, :, :, :, j1]
+                )
+        assert (e_dim, cpg) == (w1.shape[0], w1.shape[2])
+        np.testing.assert_allclose(y, reference, rtol=1e-9)
+
+    def test_operator1_weight_shapes_match_listing2(self):
+        operator = build_operator1()
+        shapes = operator.weight_shapes(self.BINDING)
+        cout, cin, k1, g, s = 16, 8, 3, 4, 2
+        assert sorted(int(np.prod(s_)) for s_ in shapes) == sorted(
+            [cout // g // s * cin * k1, cout * (k1 * k1 * cout // s)]
+        )
+
+    def test_operator2_has_fewer_parameters_than_conv(self):
+        conv_params = build_conv2d().parameter_count(self.BINDING)
+        op2_params = build_operator2().parameter_count(self.BINDING)
+        assert op2_params < conv_params / 2
+
+    def test_operator2_output_shape(self, rng):
+        x = rng.normal(size=(1, 8, 6, 6))
+        _, y = _forward(build_operator2(), self.BINDING, x)
+        assert y.shape == (1, 16, 6, 6)
+
+    def test_shift_conv_output_shape_and_params(self, rng):
+        x = rng.normal(size=(1, 8, 6, 6))
+        operator = build_shift_conv()
+        _, y = _forward(operator, self.BINDING, x)
+        assert y.shape == (1, 16, 6, 6)
+        # Shift removes one spatial Unfold, so parameters shrink by ~k.
+        assert operator.parameter_count(self.BINDING) * 2 < build_conv2d().parameter_count(self.BINDING)
+
+    def test_operators_are_trainable(self, rng):
+        module = lower_to_module(build_operator2(), self.BINDING, rng=rng)
+        x = Tensor(rng.normal(size=(1, 8, 6, 6)), requires_grad=True)
+        module(x).sum().backward()
+        for weight in module.weights:
+            assert weight.grad is not None
+
+
+class TestLoweringValidation:
+    def test_wrong_input_shape_raises(self, rng):
+        binding = {M: 5, K: 7, OUT_FEATURES: 4}
+        module = lower_to_module(build_matmul(), binding)
+        with pytest.raises(Exception):
+            module(Tensor(rng.normal(size=(5, 6))))

@@ -1,0 +1,170 @@
+"""Tests for the loop-nest lowering, materialized reduction and the compiler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codegen.loopnest import lower_to_loopnest
+from repro.compiler import (
+    A100,
+    MOBILE_CPU,
+    MOBILE_GPU,
+    AnalyticalCostModel,
+    InductorBackend,
+    Schedule,
+    TVMBackend,
+    default_schedule,
+    loopnest_for_slot,
+    schedule_space,
+)
+from repro.compiler.targets import target_by_name
+from repro.core.library import (
+    C_IN,
+    C_OUT,
+    GROUPS,
+    H,
+    K1,
+    N,
+    POOL,
+    SHRINK,
+    W,
+    build_conv2d,
+    build_operator1,
+    build_operator2,
+)
+from repro.experiments.ablation_materialization import build_figure4_operator
+from repro.nn.models.common import ConvSlot
+
+CONV_BINDING = {N: 1, C_IN: 64, C_OUT: 64, H: 14, W: 14, K1: 3, GROUPS: 4, SHRINK: 2}
+
+
+class TestLoopNestLowering:
+    def test_conv_macs_match_formula(self):
+        program = lower_to_loopnest(build_conv2d(), CONV_BINDING)
+        assert program.macs == 64 * 64 * 14 * 14 * 9
+
+    def test_figure4_materialized_macs(self):
+        """The paper's Figure 4: k*H naive vs (1 + k/s)*H materialized."""
+        operator = build_figure4_operator()
+        binding = {H: 1024, POOL: 4, K1: 5}
+        naive = lower_to_loopnest(operator, binding, materialize=False)
+        staged = lower_to_loopnest(operator, binding, materialize=True)
+        assert naive.macs == 5 * 1024
+        assert staged.macs == 1024 + (1024 // 4) * 5
+        assert staged.materialization_gain > 2.0
+
+    def test_operator1_materialization_beats_naive(self):
+        program = lower_to_loopnest(build_operator1(), CONV_BINDING)
+        assert program.macs < program.naive_macs
+        assert len(program.stages) >= 2
+
+    def test_materialization_never_hurts(self):
+        for operator in (build_conv2d(), build_operator1(), build_operator2()):
+            naive = lower_to_loopnest(operator, CONV_BINDING, materialize=False)
+            staged = lower_to_loopnest(operator, CONV_BINDING, materialize=True)
+            assert staged.macs <= naive.macs
+
+    def test_slot_loopnest_matches_slot_macs(self):
+        slot = ConvSlot("conv", 32, 64, 14, 3, 1)
+        program = loopnest_for_slot(slot, batch=2)
+        assert program.macs == slot.macs(2)
+        assert program.parameter_count == slot.parameters()
+
+
+class TestCostModel:
+    def test_more_macs_cost_more(self):
+        small = loopnest_for_slot(ConvSlot("s", 32, 32, 14, 3, 1))
+        large = loopnest_for_slot(ConvSlot("l", 128, 128, 28, 3, 1))
+        model = AnalyticalCostModel()
+        schedule = default_schedule()
+        assert model.program_latency(large, MOBILE_CPU, schedule) > model.program_latency(
+            small, MOBILE_CPU, schedule
+        )
+
+    def test_faster_hardware_is_faster(self):
+        program = loopnest_for_slot(ConvSlot("c", 256, 256, 14, 3, 1))
+        model = AnalyticalCostModel()
+        schedule = default_schedule()
+        assert model.program_latency(program, A100, schedule) < model.program_latency(
+            program, MOBILE_CPU, schedule
+        )
+
+    def test_int8_speedup(self):
+        program = loopnest_for_slot(ConvSlot("c", 256, 256, 14, 3, 1))
+        fp32 = AnalyticalCostModel()
+        int8 = AnalyticalCostModel(element_bytes=1, datatype_speedup=MOBILE_CPU.int8_speedup)
+        schedule = default_schedule()
+        assert int8.program_latency(program, MOBILE_CPU, schedule) < fp32.program_latency(
+            program, MOBILE_CPU, schedule
+        )
+
+    def test_target_lookup(self):
+        assert target_by_name("a100") is A100
+        with pytest.raises(KeyError):
+            target_by_name("tpu")
+
+    def test_schedule_space_is_finite_and_diverse(self):
+        schedules = list(schedule_space())
+        assert len(schedules) > 20
+        assert len({s.tile for s in schedules}) >= 4
+
+
+class TestBackends:
+    def test_tvm_tuning_beats_default_schedule(self):
+        program = loopnest_for_slot(ConvSlot("c", 256, 256, 14, 3, 1))
+        model = AnalyticalCostModel()
+        default_latency = model.program_latency(program, MOBILE_CPU, default_schedule())
+        tuned = TVMBackend(trials=64).compile(program, MOBILE_CPU)
+        assert tuned.latency_seconds <= default_latency * 1.001
+
+    def test_inductor_template_matches_standard_conv(self):
+        program = loopnest_for_slot(ConvSlot("c", 256, 256, 14, 3, 1))
+        result = InductorBackend().compile(program, A100)
+        assert not result.used_fallback
+
+    def test_inductor_falls_back_for_multistage_operators(self):
+        program = lower_to_loopnest(build_operator1(), CONV_BINDING)
+        result = InductorBackend().compile(program, MOBILE_CPU)
+        assert result.used_fallback
+
+    def test_fallback_penalty_larger_on_mobile(self):
+        """Reproduces the paper's platform-dependent TorchInductor behaviour."""
+        program = lower_to_loopnest(build_operator2(), CONV_BINDING)
+        backend = InductorBackend()
+        tvm = TVMBackend(trials=48)
+        mobile_ratio = (
+            backend.compile(program, MOBILE_CPU).latency_seconds
+            / tvm.compile(program, MOBILE_CPU).latency_seconds
+        )
+        a100_ratio = (
+            backend.compile(program, A100).latency_seconds
+            / tvm.compile(program, A100).latency_seconds
+        )
+        assert mobile_ratio > a100_ratio
+
+    @pytest.mark.parametrize("target", [MOBILE_CPU, MOBILE_GPU, A100])
+    def test_fewer_macs_is_faster_when_tuned(self, target):
+        conv = loopnest_for_slot(ConvSlot("c", 256, 256, 14, 3, 1))
+        grouped = loopnest_for_slot(ConvSlot("g", 256, 256, 14, 3, 1, groups=4))
+        backend = TVMBackend(trials=48)
+        assert backend.compile(grouped, target).latency_seconds < backend.compile(
+            conv, target
+        ).latency_seconds
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    channels=st.sampled_from([32, 64, 128]),
+    spatial=st.sampled_from([7, 14, 28]),
+    tile=st.sampled_from([16, 32, 64]),
+)
+def test_property_latency_positive_and_monotone_in_macs(channels, spatial, tile):
+    model = AnalyticalCostModel()
+    schedule = Schedule(tile=tile)
+    small = loopnest_for_slot(ConvSlot("a", channels, channels, spatial, 3, 1))
+    double = loopnest_for_slot(ConvSlot("b", 2 * channels, channels, spatial, 3, 1))
+    latency_small = model.program_latency(small, MOBILE_GPU, schedule)
+    latency_double = model.program_latency(double, MOBILE_GPU, schedule)
+    assert latency_small > 0
+    assert latency_double >= latency_small

@@ -1,0 +1,223 @@
+"""Gradient checks for the numpy autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numeric_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn(x)
+        flat[index] = original - eps
+        lower = fn(x)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, x: np.ndarray, atol: float = 1e-5) -> None:
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = op(tensor)
+    loss = F.sum(F.mul(out, out))
+    loss.backward()
+
+    def scalar_fn(values: np.ndarray) -> float:
+        result = op(Tensor(values)).data
+        return float((result * result).sum())
+
+    numeric = numeric_gradient(scalar_fn, x.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-4)
+
+
+class TestElementwiseGradients:
+    def test_add_mul(self, rng):
+        check_gradient(lambda t: F.add(F.mul(t, 3.0), 1.0), rng.normal(size=(3, 4)))
+
+    def test_div(self, rng):
+        check_gradient(lambda t: F.div(1.0, F.add(F.mul(t, t), 1.0)), rng.normal(size=(3, 3)))
+
+    def test_exp_log(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda t: F.log(F.add(F.exp(t), 1.0)), x)
+
+    def test_relu(self, rng):
+        x = rng.normal(size=(5, 5)) + 0.1  # avoid the kink at exactly 0
+        check_gradient(F.relu, x)
+
+    def test_tanh_sigmoid_gelu(self, rng):
+        x = rng.normal(size=(6,))
+        check_gradient(F.tanh, x)
+        check_gradient(F.sigmoid, x)
+        check_gradient(F.gelu, x)
+
+    def test_power_sqrt(self, rng):
+        x = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda t: F.power(t, 3.0), x)
+        check_gradient(F.sqrt, x)
+
+
+class TestReductionGradients:
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: F.sum(t, axis=1), rng.normal(size=(3, 4)))
+
+    def test_mean_keepdims(self, rng):
+        check_gradient(lambda t: F.mean(t, axis=0, keepdims=True), rng.normal(size=(3, 4)))
+
+    def test_max(self, rng):
+        x = rng.normal(size=(4, 5))
+        check_gradient(lambda t: F.max(t, axis=1), x)
+
+
+class TestLinearAlgebraGradients:
+    def test_matmul(self, rng):
+        other = rng.normal(size=(4, 3))
+        check_gradient(lambda t: F.matmul(t, Tensor(other)), rng.normal(size=(2, 4)))
+
+    def test_matmul_grad_wrt_second_operand(self, rng):
+        a = Tensor(rng.normal(size=(2, 4)))
+        b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        F.sum(F.matmul(a, b)).backward()
+        expected = a.data.T @ np.ones((2, 3))
+        np.testing.assert_allclose(b.grad, expected, rtol=1e-10)
+
+    def test_einsum_contraction(self, rng):
+        other = rng.normal(size=(4, 5))
+        check_gradient(lambda t: F.einsum("ij,jk->ik", t, Tensor(other)), rng.normal(size=(3, 4)))
+
+    def test_einsum_broadcast_only_operand(self, rng):
+        """An index appearing in a single operand gets a broadcast gradient."""
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        out = F.einsum("i,j->ij", a, b)
+        F.sum(out).backward()
+        np.testing.assert_allclose(a.grad, np.full(3, b.data.sum()), rtol=1e-10)
+        np.testing.assert_allclose(b.grad, np.full(4, a.data.sum()), rtol=1e-10)
+
+    def test_einsum_elementwise_share_pattern(self, rng):
+        """The Share lowering pattern: elementwise along one dim, outer along another."""
+        other = rng.normal(size=(4, 6))
+        check_gradient(lambda t: F.einsum("ab,bc->abc", t, Tensor(other)), rng.normal(size=(3, 4)))
+
+
+class TestShapeOpGradients:
+    def test_reshape_transpose(self, rng):
+        check_gradient(lambda t: F.transpose(F.reshape(t, (4, 3)), (1, 0)), rng.normal(size=(3, 4)))
+
+    def test_pad_and_slice(self, rng):
+        check_gradient(lambda t: F.pad(t, [(1, 1), (0, 2)]), rng.normal(size=(3, 4)))
+        check_gradient(lambda t: F.getitem(t, (slice(0, 2), slice(1, 3))), rng.normal(size=(3, 4)))
+
+    def test_take_scatter_adds(self, rng):
+        indices = np.array([0, 1, 1, 2])
+        check_gradient(lambda t: F.take(t, indices, axis=0), rng.normal(size=(3, 4)))
+
+    def test_roll(self, rng):
+        check_gradient(lambda t: F.roll(t, 1, axis=1), rng.normal(size=(3, 4)))
+
+    def test_broadcast_to(self, rng):
+        check_gradient(lambda t: F.broadcast_to(t, (4, 3, 2)), rng.normal(size=(3, 2)))
+
+    def test_unfold1d_matches_window_semantics(self, rng):
+        x = rng.normal(size=(2, 6))
+        out = F.unfold1d(Tensor(x), axis=1, window=3).data
+        padded = np.pad(x, ((0, 0), (1, 1)))
+        for i in range(6):
+            for j in range(3):
+                np.testing.assert_allclose(out[:, i, j], padded[:, i + j])
+
+    def test_unfold1d_gradient(self, rng):
+        check_gradient(lambda t: F.unfold1d(t, axis=1, window=3), rng.normal(size=(2, 5)))
+
+    def test_strided_slice(self, rng):
+        x = rng.normal(size=(2, 8))
+        out = F.strided_slice(Tensor(x), axis=1, step=2).data
+        np.testing.assert_allclose(out, x[:, ::2])
+        check_gradient(lambda t: F.strided_slice(t, axis=1, step=2), x)
+
+    def test_concatenate(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        F.sum(F.concatenate([a, b], axis=1)).backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+
+class TestLossesAndModes:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = F.softmax(Tensor(rng.normal(size=(5, 7)))).data
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(5), rtol=1e-10)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 2, 1, 1])
+        loss = F.cross_entropy(Tensor(logits), targets).data
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        np.testing.assert_allclose(loss, expected, rtol=1e-10)
+
+    def test_cross_entropy_gradient(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        targets = np.array([0, 2, 1, 1])
+        F.cross_entropy(logits, targets).backward()
+        probs = F.softmax(Tensor(logits.data)).data
+        onehot = np.zeros((4, 3))
+        onehot[np.arange(4), targets] = 1
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 4, atol=1e-8)
+
+    def test_accuracy(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert F.accuracy(Tensor(logits), np.array([0, 1])) == 1.0
+        assert F.accuracy(Tensor(logits), np.array([1, 1])) == 0.5
+
+    def test_no_grad_blocks_tape(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with no_grad():
+            y = F.mul(x, 2.0)
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            F.mul(x, 2.0).backward()
+
+    def test_gradient_accumulates_across_backward_calls(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        F.sum(x).backward()
+        F.sum(x).backward()
+        np.testing.assert_allclose(x.grad, 2 * np.ones(3))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=4),
+    cols=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_sum_gradient_is_ones(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    F.sum(x).backward()
+    np.testing.assert_allclose(x.grad, np.ones((rows, cols)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_property_chain_rule_linear(seed):
+    """d/dx of (a*x).sum() is a for any a."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(5,))
+    x = Tensor(rng.normal(size=(5,)), requires_grad=True)
+    F.sum(F.mul(Tensor(a), x)).backward()
+    np.testing.assert_allclose(x.grad, a)

@@ -1,0 +1,188 @@
+"""Tests for the eight primitives' frontier (bottom-up) semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pgraph import DimRole, PGraph
+from repro.core.primitives import (
+    Expand,
+    Merge,
+    PrimitiveError,
+    Reduce,
+    Share,
+    Shift,
+    Split,
+    Stride,
+    Unfold,
+)
+from repro.ir.shape import ShapeSpec
+from repro.ir.size import Size
+from repro.ir.variables import coefficient, primary
+
+H = primary("H", default=12)
+W = primary("W", default=8)
+C = primary("C", default=4)
+B = coefficient("b", default=3)
+S = coefficient("s", default=2)
+
+
+def _root(output, input_shape) -> PGraph:
+    return PGraph.root(ShapeSpec.of(output), ShapeSpec.of(input_shape))
+
+
+class TestMerge:
+    def test_splits_one_dim_into_two(self):
+        graph = _root([H], [H])
+        graph = Merge(block=Size.of(B)).apply(graph, (graph.frontier[0],))
+        assert len(graph.frontier) == 2
+        assert graph.frontier[0].size == Size.of(H) / B
+        assert graph.frontier[1].size == Size.of(B)
+
+    def test_rejects_block_one(self):
+        graph = _root([H], [H])
+        with pytest.raises(PrimitiveError):
+            Merge(block=Size.one()).apply(graph, (graph.frontier[0],))
+
+    def test_rejects_primary_denominator(self):
+        graph = _root([B], [B])
+        with pytest.raises(PrimitiveError):
+            Merge(block=Size.of(H)).apply(graph, (graph.frontier[0],))
+
+
+class TestSplit:
+    def test_combines_two_dims(self):
+        graph = _root([H, W], [H, W])
+        graph = Split().apply(graph, (graph.frontier[0], graph.frontier[1]))
+        assert len(graph.frontier) == 1
+        assert graph.frontier[0].size == Size.of(H) * W
+
+    def test_operand_must_be_in_frontier(self):
+        graph = _root([H, W], [H, W])
+        other = _root([C], [C])
+        with pytest.raises(PrimitiveError):
+            Split().apply(graph, (graph.frontier[0], other.frontier[0]))
+
+
+class TestShiftExpandStride:
+    def test_shift_preserves_size(self):
+        graph = _root([H], [H])
+        graph = Shift(amount=1).apply(graph, (graph.frontier[0],))
+        assert graph.frontier[0].size == Size.of(H)
+
+    def test_expand_removes_dim(self):
+        graph = _root([H, C], [H])
+        graph = Expand().apply(graph, (graph.frontier[1],))
+        assert graph.frontier_shape.same_multiset(ShapeSpec.of([H]))
+
+    def test_stride_scales_size(self):
+        graph = _root([C], [C])
+        graph = Stride(stride=Size.of(S)).apply(graph, (graph.frontier[0],))
+        assert graph.frontier[0].size == Size.of(C) * S
+
+    def test_stride_of_one_rejected(self):
+        graph = _root([C], [C])
+        with pytest.raises(PrimitiveError):
+            Stride(stride=Size.one()).apply(graph, (graph.frontier[0],))
+
+
+class TestUnfold:
+    def test_combines_main_and_window(self):
+        graph = _root([H], [H])
+        graph = Reduce(size=Size.of(B)).apply(graph, ())
+        window = graph.frontier[-1]
+        graph = Unfold().apply(graph, (graph.frontier[0], window))
+        assert len(graph.frontier) == 1
+        assert graph.frontier[0].size == Size.of(H)
+
+    def test_window_must_not_be_primary(self):
+        graph = _root([H, W], [H, W])
+        with pytest.raises(PrimitiveError):
+            Unfold().apply(graph, (graph.frontier[0], graph.frontier[1]))
+
+
+class TestReduce:
+    def test_adds_reduction_dim(self):
+        graph = _root([H], [H, C])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        assert graph.frontier[-1].is_reduction
+        assert graph.frontier[-1].size == Size.of(C)
+        assert graph.is_complete
+
+    def test_size_one_rejected(self):
+        graph = _root([H], [H])
+        with pytest.raises(PrimitiveError):
+            Reduce(size=Size.one()).apply(graph, ())
+
+
+class TestShare:
+    def test_creates_weight_with_shared_dim(self):
+        graph = _root([H], [H])
+        graph = Share(new_weight=True).apply(graph, (graph.frontier[0],))
+        assert len(graph.weights) == 1
+        assert graph.weights[0].dims[0].size == Size.of(H)
+        # The data path keeps the shared dim.
+        assert graph.frontier_shape.same_multiset(ShapeSpec.of([H]))
+
+    def test_match_moves_dim_to_weight(self):
+        graph = _root([H, C], [H])
+        graph = Share(new_weight=True).apply(graph, (graph.frontier[0], graph.frontier[1]))
+        assert graph.frontier_shape.same_multiset(ShapeSpec.of([H]))
+        assert len(graph.weights[0].dims) == 2
+
+    def test_append_requires_previous_share(self):
+        graph = _root([H], [H])
+        with pytest.raises(PrimitiveError):
+            Share(new_weight=False).apply(graph, (graph.frontier[0],))
+
+    def test_append_extends_existing_weight(self):
+        graph = _root([H, C], [H, C])
+        graph = Share(new_weight=True).apply(graph, (graph.frontier[0],))
+        graph = Share(new_weight=False).apply(graph, (graph.frontier[1],))
+        assert len(graph.weights) == 1
+        assert len(graph.weights[0].dims) == 2
+
+    def test_requires_at_least_one_operand(self):
+        graph = _root([H], [H])
+        with pytest.raises(PrimitiveError):
+            Share(new_weight=True).apply(graph, ())
+
+
+class TestPGraphAccounting:
+    def test_depth_and_counts(self):
+        graph = _root([H], [H, C])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        graph = Share(new_weight=True).apply(graph, (graph.frontier[-1],))
+        assert graph.depth == 2
+        assert graph.count_primitive(Reduce) == 1
+        assert graph.count_primitive(Share) == 1
+
+    def test_macs_output_times_reductions(self):
+        graph = _root([H], [H, C])
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        binding = {H: 12, C: 4}
+        assert graph.macs(binding) == 12 * 4
+
+    def test_parameter_count(self):
+        graph = _root([H, C], [H])
+        graph = Share(new_weight=True).apply(graph, (graph.frontier[0], graph.frontier[1]))
+        assert graph.parameter_count({H: 12, C: 4}) == 48
+
+    def test_signature_distinguishes_structures(self):
+        graph = _root([H, W], [H, W])
+        a = Shift(amount=1).apply(graph, (graph.frontier[0],))
+        b = Shift(amount=1).apply(graph, (graph.frontier[1],))
+        assert a.signature() != b.signature()
+
+    def test_immutability_of_application(self):
+        graph = _root([H], [H])
+        extended = Shift(amount=1).apply(graph, (graph.frontier[0],))
+        assert graph.depth == 0
+        assert extended.depth == 1
+        assert graph.frontier != extended.frontier
+
+    def test_roles(self):
+        graph = _root([H], [H, C])
+        assert graph.frontier[0].role is DimRole.OUTPUT
+        graph = Reduce(size=Size.of(C)).apply(graph, ())
+        assert graph.frontier[-1].role is DimRole.REDUCTION

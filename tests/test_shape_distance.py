@@ -1,0 +1,80 @@
+"""Tests for the shape-distance metric (Section 7.1)."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.shape_distance import remaining_budget_allows, shape_distance
+from repro.ir.shape import ShapeSpec
+from repro.ir.size import Size
+from repro.ir.variables import coefficient, primary
+
+C_IN = primary("C_in", default=8)
+H = primary("H", default=8)
+W = primary("W", default=8)
+N = primary("N", default=2)
+S = coefficient("s", default=2)
+K = coefficient("k", default=3)
+
+
+class TestBasics:
+    def test_zero_for_identical_shapes(self):
+        shape = ShapeSpec.of([N, C_IN, H, W])
+        assert shape_distance(shape, shape) == 0
+
+    def test_zero_for_permutation(self):
+        assert shape_distance(ShapeSpec.of([H, W]), ShapeSpec.of([W, H])) == 0
+
+    def test_positive_when_different(self):
+        assert shape_distance(ShapeSpec.of([Size.of(H) * W]), ShapeSpec.of([H, W])) >= 1
+
+    def test_single_reshape_group(self):
+        # [H*W] vs [H, W]: one Merge-like step suffices.
+        assert shape_distance(ShapeSpec.of([Size.of(H) * W]), ShapeSpec.of([H, W])) == 1
+
+    def test_paper_example_distance_three(self):
+        """The running example of Section 7.1: [C_in, s^-1*H, s*W, k] -> [C_in, H, W]."""
+        current = ShapeSpec.of([C_IN, Size.of(H) / S, Size.of(W) * S, K])
+        desired = ShapeSpec.of([C_IN, H, W])
+        assert shape_distance(current, desired) == 3
+
+    def test_extra_coefficient_dim_needs_one_to_many(self):
+        current = ShapeSpec.of([H, K])
+        desired = ShapeSpec.of([H])
+        assert shape_distance(current, desired) >= 1
+
+    def test_domain_mismatch_adds_step(self):
+        same_domain = shape_distance(
+            ShapeSpec.of([Size.of(H) / S, Size.of(W) * S]), ShapeSpec.of([H, W])
+        )
+        different_domain = shape_distance(
+            ShapeSpec.of([Size.of(H) / S, Size.of(W) * S, K]), ShapeSpec.of([H, W])
+        )
+        assert different_domain == same_domain + 1
+
+
+class TestBudgetHelper:
+    def test_allows_when_within_budget(self):
+        current = ShapeSpec.of([Size.of(H) * W])
+        desired = ShapeSpec.of([H, W])
+        assert remaining_budget_allows(current, desired, 1)
+        assert not remaining_budget_allows(current, desired, 0)
+
+
+@given(
+    sizes=st.lists(st.sampled_from([2, 3, 4, 8]), min_size=1, max_size=4),
+)
+def test_property_distance_zero_iff_multiset_equal_for_constants(sizes):
+    lhs = ShapeSpec.of(sizes)
+    rhs = ShapeSpec.of(list(reversed(sizes)))
+    assert shape_distance(lhs, rhs) == 0
+
+
+@given(
+    extra=st.sampled_from([2, 3, 5]),
+    base=st.lists(st.sampled_from([2, 4, 8]), min_size=1, max_size=3),
+)
+def test_property_adding_a_dim_gives_positive_distance(extra, base):
+    lhs = ShapeSpec.of(base + [extra * 7])
+    rhs = ShapeSpec.of(base)
+    assert shape_distance(lhs, rhs) >= 1
