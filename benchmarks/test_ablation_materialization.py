@@ -1,10 +1,13 @@
 """Benchmark for the materialized-reduction ablation (Figure 4's optimization)."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import ablation_materialization
 
 
+@pytest.mark.timeout(60)
 def test_materialized_reduction_ablation(benchmark):
     result = run_once(benchmark, ablation_materialization.run)
     print()

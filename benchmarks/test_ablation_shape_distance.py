@@ -1,12 +1,15 @@
 """Benchmark regenerating the Section 9.4 shape-distance ablation."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import ablation_shape_distance
 
 
+@pytest.mark.timeout(120)
 def test_shape_distance_ablation(benchmark):
-    result = run_once(benchmark, ablation_shape_distance.run, trials=300)
+    result = run_once(benchmark, ablation_shape_distance.run)
     print()
     print(result.to_table())
     # Guided sampling finds valid operators; unguided sampling finds (almost)

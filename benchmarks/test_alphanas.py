@@ -1,10 +1,13 @@
 """Benchmark for the Section 9.2 comparison against αNAS."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import alphanas_comparison
 
 
+@pytest.mark.timeout(120)
 def test_alphanas_comparison(benchmark):
     result = run_once(benchmark, alphanas_comparison.run)
     print()

@@ -1,10 +1,13 @@
 """Benchmark regenerating Figure 10: GPT-2 perplexity vs training steps."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import figure10
 
 
+@pytest.mark.timeout(120)
 def test_figure10_gpt2_perplexity(benchmark):
     result = run_once(benchmark, figure10.run, train_steps=30)
     print()

@@ -1,10 +1,13 @@
 """Benchmark regenerating Figure 5: end-to-end speedups on the five vision models."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import figure5
 
 
+@pytest.mark.timeout(300)
 def test_figure5_end_to_end_speedups(benchmark):
     result = run_once(benchmark, figure5.run)
     print()

@@ -1,10 +1,13 @@
 """Benchmark regenerating Figure 6: accuracy-vs-latency Pareto curves."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import figure6
 
 
+@pytest.mark.timeout(600)
 def test_figure6_pareto_curves(benchmark):
     result = run_once(benchmark, figure6.run, models=["resnet18", "resnet34"])
     print()
@@ -19,6 +22,7 @@ def test_figure6_pareto_curves(benchmark):
         assert any(p.candidate != "baseline" for p in front)
 
 
+@pytest.mark.timeout(600)
 def test_figure6_resnet34_vs_resnet18_headline(benchmark):
     """The paper highlights Syno-optimized ResNet-34 beating baseline ResNet-18 in latency."""
     result = run_once(benchmark, figure6.run, models=["resnet18", "resnet34"], train_steps=8)

@@ -1,10 +1,13 @@
 """Benchmark regenerating Figure 8: Operator 1 vs stacked conv vs INT8 quantization."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import figure8
 
 
+@pytest.mark.timeout(300)
 def test_figure8_case_study(benchmark):
     result = run_once(benchmark, figure8.run)
     print()

@@ -1,10 +1,13 @@
 """Benchmark regenerating Figure 9: layer-wise comparison with NAS-PTE on ResNet-34."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import figure9
 
 
+@pytest.mark.timeout(300)
 def test_figure9_layerwise_comparison(benchmark):
     result = run_once(benchmark, figure9.run)
     print()

@@ -1,12 +1,15 @@
 """Benchmark regenerating Table 3: canonical rates by pGraph size."""
 
+import pytest
+
 from benchmarks._harness import run_once
 
 from repro.experiments import table3
 
 
+@pytest.mark.timeout(120)
 def test_table3_canonicalization_rates(benchmark):
-    result = run_once(benchmark, table3.run, num_samples=300)
+    result = run_once(benchmark, table3.run)
     print()
     print(result.to_table())
     # Canonicalization prunes a large majority of random candidates

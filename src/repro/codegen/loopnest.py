@@ -147,6 +147,30 @@ class LoopNestProgram:
     input_elements: int
     output_elements: int
 
+    def structural_key(self) -> tuple:
+        """The program's identity for compile caching: everything but names.
+
+        Tuning outcomes depend only on the iteration spaces and data volumes,
+        so structurally identical layers (e.g. the repeated blocks of a
+        backbone profile) share one cache entry regardless of slot naming.
+        """
+        return (
+            tuple(
+                (
+                    stage.extents,
+                    stage.macs,
+                    stage.input_elements,
+                    stage.weight_elements,
+                    stage.output_elements,
+                )
+                for stage in self.stages
+            ),
+            self.naive_macs,
+            self.parameter_count,
+            self.input_elements,
+            self.output_elements,
+        )
+
     @property
     def macs(self) -> int:
         return sum(stage.macs for stage in self.stages)

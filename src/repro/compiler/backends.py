@@ -42,11 +42,33 @@ class TuneResult:
 
 
 class CompilerBackend:
-    """Interface shared by the two compiler personalities."""
+    """Interface shared by the two compiler personalities.
+
+    ``compile`` is memoized through the process-wide compile cache: tuning is
+    a pure function of (backend configuration, program, target), and both the
+    search loop and the experiment harness compile the same loop nests over
+    and over (identical slots repeat within and across backbone profiles).
+    Backends implement ``_compile_uncached``; anything that changes tuning
+    results must be reflected in ``config_key``.
+    """
 
     name = "base"
 
+    def config_key(self) -> tuple:
+        """Hashable description of every knob that affects compile results."""
+        return (self.name,)
+
     def compile(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
+        # Imported lazily: repro.search re-exports modules that import this
+        # one, so a module-level import would form a cycle.
+        from repro.search.cache import compile_cache
+
+        key = (self.config_key(), program.structural_key(), target)
+        return compile_cache().get_or_compute(
+            key, lambda: self._compile_uncached(program, target)
+        )
+
+    def _compile_uncached(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
         raise NotImplementedError
 
 
@@ -58,7 +80,10 @@ class TVMBackend(CompilerBackend):
     cost_model: AnalyticalCostModel = field(default_factory=AnalyticalCostModel)
     name: str = "tvm"
 
-    def compile(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
+    def config_key(self) -> tuple:
+        return (self.name, self.trials, self.cost_model.config_key())
+
+    def _compile_uncached(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
         best_latency = float("inf")
         best_schedule = default_schedule()
         trials = 0
@@ -94,6 +119,15 @@ class InductorBackend(CompilerBackend):
     fallback_overhead_multiplier: float = 2.0
     name: str = "torchinductor"
 
+    def config_key(self) -> tuple:
+        return (
+            self.name,
+            self.template_quality,
+            self.gpu_fallback_efficiency,
+            self.mobile_fallback_efficiency,
+            self.fallback_overhead_multiplier,
+        )
+
     def _matches_template(self, program: LoopNestProgram) -> bool:
         """Whether the operator looks like a conv/matmul the templates cover.
 
@@ -114,7 +148,7 @@ class InductorBackend(CompilerBackend):
         # (conv and matmul outputs qualify; tiny or ragged outputs do not).
         return stage.output_elements % 4 == 0 and stage.output_elements >= 64
 
-    def compile(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
+    def _compile_uncached(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
         if self._matches_template(program):
             cost_model = AnalyticalCostModel(efficiency_scale=self.template_quality)
             # max-autotune tries a handful of template variants.

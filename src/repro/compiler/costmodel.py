@@ -45,6 +45,10 @@ class AnalyticalCostModel:
     #: additional throughput factor for narrow datatypes (set by quantization).
     datatype_speedup: float = 1.0
 
+    def config_key(self) -> tuple:
+        """Hashable description of the knobs that change predicted latencies."""
+        return (self.efficiency_scale, self.element_bytes, self.datatype_speedup)
+
     # -- per-stage model -----------------------------------------------------
 
     def stage_cost(self, stage: LoopNest, target: HardwareTarget, schedule: Schedule) -> StageCost:

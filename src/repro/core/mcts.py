@@ -14,10 +14,11 @@ stochastic tree search and guided synthesis.
 
 from __future__ import annotations
 
+import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Hashable
 
 from repro.core.enumeration import Action, EnumerationOptions, enumerate_children
 from repro.core.operator import OperatorSpec, SynthesizedOperator
@@ -26,6 +27,10 @@ from repro.core.shape_distance import shape_distance
 
 #: Reward function over complete operators; should return a value in [0, 1].
 RewardFn = Callable[[SynthesizedOperator], float]
+
+#: Monotonic ids for instance-private cache contexts (``id()`` can be reused
+#: after garbage collection, which would alias unrelated searches' rewards).
+_INSTANCE_CONTEXTS = itertools.count()
 
 
 @dataclass
@@ -38,6 +43,10 @@ class MCTSConfig:
     seed: int = 0
     #: maximum number of children to expand per node (limits branching).
     max_children: int = 64
+    #: context of the process-wide reward cache.  Searches sharing a context
+    #: (same backbone, same evaluation settings) reuse each other's rewards;
+    #: ``None`` keeps rewards private to this search instance.
+    cache_context: Hashable | None = None
 
 
 class _Node:
@@ -89,7 +98,16 @@ class MCTS:
         self._rng = random.Random(self.config.seed)
         self._root = _Node(PGraph.root(self.spec.output_shape, self.spec.input_shape), None, None)
         self.samples: list[SampleRecord] = []
-        self._evaluated: dict[str, float] = {}
+        #: rewards already recorded by THIS search: deduplicates samples and
+        #: keeps within-run memoization unconditional (even with the
+        #: process-wide caches disabled via REPRO_EVAL_CACHE=0).
+        self._local_rewards: dict[str, float] = {}
+        #: reward-cache context; private to the instance unless configured.
+        self._context: Hashable = (
+            self.config.cache_context
+            if self.config.cache_context is not None
+            else ("mcts-instance", next(_INSTANCE_CONTEXTS))
+        )
 
     # -- public API --------------------------------------------------------
 
@@ -151,8 +169,16 @@ class MCTS:
         ]
 
     def _rollout(self, node: _Node, iteration: int) -> float:
+        from repro.search.cache import cached_reward  # lazy: avoids an import cycle
+
         graph = node.graph
-        depth_limit = self.config.rollout_depth or self.options.max_depth
+        # ``rollout_depth=0`` is a legitimate setting (no random completion
+        # beyond the tree policy), so only ``None`` falls back to max_depth.
+        depth_limit = (
+            self.config.rollout_depth
+            if self.config.rollout_depth is not None
+            else self.options.max_depth
+        )
         while not (graph.is_complete and graph.depth > 0):
             if graph.depth >= depth_limit:
                 return 0.0
@@ -165,10 +191,10 @@ class MCTS:
             return 0.0
         operator = SynthesizedOperator.from_graph(graph, self.spec)
         signature = graph.signature()
-        if signature in self._evaluated:
-            return self._evaluated[signature]
-        reward = float(self.reward_fn(operator))
-        self._evaluated[signature] = reward
+        if signature in self._local_rewards:
+            return self._local_rewards[signature]
+        reward = cached_reward(self._context, signature, lambda: float(self.reward_fn(operator)))
+        self._local_rewards[signature] = reward
         self.samples.append(SampleRecord(operator=operator, reward=reward, iteration=iteration))
         return reward
 

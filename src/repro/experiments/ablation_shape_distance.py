@@ -18,6 +18,7 @@ from repro.core.library import C_IN, C_OUT, GROUPS, H, K1, N, SHRINK, W, conv2d_
 from repro.core.pgraph import PGraph
 from repro.core.shape_distance import shape_distance
 from repro.ir.size import Size
+from repro.search.cache import smoke_value
 
 
 @dataclass
@@ -87,7 +88,9 @@ def _rollout(options: EnumerationOptions, rng: random.Random, use_distance: bool
     return graph if graph.is_complete and graph.depth > 0 else None
 
 
-def run(trials: int = 300, max_depth: int = 4, seed: int = 0) -> AblationResult:
+def run(trials: int | None = None, max_depth: int = 4, seed: int = 0) -> AblationResult:
+    if trials is None:
+        trials = smoke_value(300, 120)
     options = default_options_for(
         _ROLLING_SPEC, coefficients=[Size.of(K1), Size.of(GROUPS)], max_depth=max_depth
     )

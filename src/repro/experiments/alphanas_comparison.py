@@ -17,6 +17,7 @@ from repro.compiler.backends import TVMBackend
 from repro.compiler.targets import A100
 from repro.experiments.common import syno_candidates
 from repro.nn.models.profiles import MODEL_PROFILES
+from repro.search.cache import tuning_trials
 from repro.search.evaluator import LatencyEvaluator
 
 
@@ -46,7 +47,7 @@ class AlphaNASComparisonResult:
 
 
 def run(models: tuple[str, ...] = ("resnet34", "efficientnet_v2_s")) -> AlphaNASComparisonResult:
-    backend = TVMBackend(trials=48)
+    backend = TVMBackend(trials=tuning_trials(48))
     result = AlphaNASComparisonResult()
     for model in models:
         slots = MODEL_PROFILES[model]

@@ -10,6 +10,7 @@ compute.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -20,6 +21,7 @@ from repro.core.library import GROUPS, K1, SHRINK, build_operator1, build_operat
 from repro.core.operator import SynthesizedOperator
 from repro.ir.variables import Variable
 from repro.nn.models.common import ConvSlot
+from repro.search.cache import parallel_map, tuning_trials
 from repro.search.evaluator import LatencyEvaluator
 
 
@@ -53,7 +55,7 @@ def nas_pte_candidates() -> list[Candidate]:
 
 #: (backend name, factory) pairs for the two compilers of the evaluation.
 def both_backends() -> list[CompilerBackend]:
-    return [TVMBackend(trials=48), InductorBackend()]
+    return [TVMBackend(trials=tuning_trials(48)), InductorBackend()]
 
 
 ALL_TARGETS: tuple[HardwareTarget, ...] = (MOBILE_CPU, MOBILE_GPU, A100)
@@ -84,8 +86,14 @@ def evaluate_model(
     target: HardwareTarget,
     candidates: Sequence[Candidate],
     batch: int = 1,
+    processes: int | None = None,
 ) -> ModelEvaluation:
-    """Latency of the baseline model and of every candidate substitution."""
+    """Latency of the baseline model and of every candidate substitution.
+
+    ``processes`` (default: the ``REPRO_EVAL_PROCESSES`` environment knob)
+    opts into evaluating candidates in parallel worker processes; the serial
+    default additionally warms the process-wide compile cache.
+    """
     baseline_evaluator = LatencyEvaluator(slots=slots, backend=backend, target=target, batch=batch)
     evaluation = ModelEvaluation(
         model=model,
@@ -93,15 +101,27 @@ def evaluate_model(
         target=target.name,
         baseline_ms=baseline_evaluator.baseline_latency() * 1e3,
     )
-    for candidate in candidates:
-        evaluator = LatencyEvaluator(
-            slots=slots,
-            backend=backend,
-            target=target,
-            batch=batch,
-            coefficients=candidate.coefficients,
-        )
-        evaluation.candidate_ms[candidate.name] = (
-            evaluator.substituted_latency(candidate.operator) * 1e3
-        )
+    worker = functools.partial(_candidate_latency_ms, tuple(slots), backend, target, batch)
+    for candidate, latency_ms in zip(
+        candidates, parallel_map(worker, candidates, processes=processes)
+    ):
+        evaluation.candidate_ms[candidate.name] = latency_ms
     return evaluation
+
+
+def _candidate_latency_ms(
+    slots: tuple[ConvSlot, ...],
+    backend: CompilerBackend,
+    target: HardwareTarget,
+    batch: int,
+    candidate: Candidate,
+) -> float:
+    """Module-level worker so the parallel map can pickle it under fork."""
+    evaluator = LatencyEvaluator(
+        slots=slots,
+        backend=backend,
+        target=target,
+        batch=batch,
+        coefficients=candidate.coefficients,
+    )
+    return evaluator.substituted_latency(candidate.operator) * 1e3

@@ -25,6 +25,11 @@ from repro.experiments.common import (
     syno_candidates,
 )
 from repro.nn.models.profiles import MODEL_PROFILES
+from repro.search.cache import smoke_value
+
+#: Under REPRO_SMOKE=1 only the models the headline claims need are costed
+#: (the deep DenseNet/ResNeXt profiles dominate the full run's wall clock).
+SMOKE_MODELS = ("resnet18", "resnet34", "efficientnet_v2_s")
 
 
 @dataclass
@@ -70,7 +75,11 @@ def run(
     backends=None,
 ) -> Figure5Result:
     """Regenerate Figure 5's speedup bars."""
-    models = list(models) if models is not None else list(MODEL_PROFILES)
+    models = (
+        list(models)
+        if models is not None
+        else smoke_value(list(MODEL_PROFILES), list(SMOKE_MODELS))
+    )
     candidates = list(candidates) if candidates is not None else syno_candidates()
     targets = list(targets) if targets is not None else list(ALL_TARGETS)
     backends = list(backends) if backends is not None else both_backends()

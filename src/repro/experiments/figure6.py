@@ -9,7 +9,6 @@ used during search); latency comes from the ImageNet-scale layer profiles.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -21,13 +20,14 @@ from repro.nn.models import MODEL_BUILDERS
 from repro.nn.models.common import default_conv_factory
 from repro.nn.models.profiles import MODEL_PROFILES
 from repro.nn.trainer import Trainer, TrainingConfig
+from repro.search.cache import cached_baseline, cached_reward, default_train_steps, tuning_trials
 from repro.search.evaluator import LatencyEvaluator
 from repro.search.extraction import DEFAULT_COEFFICIENT_VALUES
 from repro.search.substitution import synthesized_conv_factory
 
 
 def _train_steps(default: int = 40) -> int:
-    return int(os.environ.get("REPRO_TRAIN_STEPS", default))
+    return default_train_steps(full=default)
 
 
 @dataclass
@@ -76,21 +76,30 @@ def run(
     models = list(models) if models is not None else ["resnet18", "resnet34"]
     candidates = list(candidates) if candidates is not None else syno_candidates()[:2] + syno_candidates()[3:4]
     steps = train_steps if train_steps is not None else _train_steps()
-    backend = TVMBackend(trials=48)
+    backend = TVMBackend(trials=tuning_trials(48))
 
     dataset = SyntheticImageDataset(num_classes=10, num_samples=256, image_size=8, seed=seed)
     train_set, val_set = dataset.split()
     result = Figure6Result()
+
+    def train_accuracy(builder, conv_factory) -> float:
+        config = TrainingConfig(max_steps=steps, eval_every=max(steps // 2, 1))
+        model = builder(conv_factory=conv_factory)
+        return Trainer(model, config).fit_classifier(train_set, val_set).best_accuracy
 
     for model in models:
         builder = MODEL_BUILDERS[model]
         slots = MODEL_PROFILES[model]
         latency_eval = LatencyEvaluator(slots=slots, backend=backend, target=target, batch=1)
 
-        baseline_model = builder(conv_factory=default_conv_factory)
-        baseline_acc = Trainer(
-            baseline_model, TrainingConfig(max_steps=steps, eval_every=max(steps // 2, 1))
-        ).fit_classifier(train_set, val_set).best_accuracy
+        # Proxy accuracies are memoized process-wide: the context captures the
+        # backbone and training budget, the key the candidate's pGraph
+        # signature (candidates sharing an operator train once, and repeated
+        # runs at the same budget train nothing).
+        context = ("figure6", model, steps, seed)
+        baseline_acc = cached_baseline(
+            (context, "baseline"), lambda: train_accuracy(builder, default_conv_factory)
+        )
         result.points.append(
             ParetoPoint(model, "baseline", baseline_acc, latency_eval.baseline_latency() * 1e3)
         )
@@ -99,10 +108,11 @@ def run(
             factory = synthesized_conv_factory(
                 candidate.operator, coefficients=DEFAULT_COEFFICIENT_VALUES, seed=seed
             )
-            accuracy = Trainer(
-                builder(conv_factory=factory),
-                TrainingConfig(max_steps=steps, eval_every=max(steps // 2, 1)),
-            ).fit_classifier(train_set, val_set).best_accuracy
+            accuracy = cached_reward(
+                context,
+                candidate.operator.graph.signature(),
+                lambda: train_accuracy(builder, factory),
+            )
             evaluator = LatencyEvaluator(
                 slots=slots, backend=backend, target=target, batch=1,
                 coefficients=candidate.coefficients,

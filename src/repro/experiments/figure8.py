@@ -10,7 +10,6 @@ is at least competitive with INT8 quantization on both axes.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from repro.baselines.quantization import quantize_model, quantized_latency
@@ -24,6 +23,7 @@ from repro.nn.models.profiles import RESNET18_PROFILE
 from repro.nn.models.resnet import resnet18
 from repro.nn.module import Module
 from repro.nn.trainer import Trainer, TrainingConfig
+from repro.search.cache import cached_baseline, cached_reward, default_train_steps, tuning_trials
 from repro.search.evaluator import LatencyEvaluator
 from repro.search.extraction import DEFAULT_COEFFICIENT_VALUES, slot_is_substitutable
 from repro.search.substitution import synthesized_conv_factory
@@ -77,8 +77,8 @@ def _stacked_latency(backend, target, batch: int = 1) -> float:
 
 
 def run(target: HardwareTarget = MOBILE_CPU, train_steps: int | None = None, seed: int = 0) -> Figure8Result:
-    steps = train_steps if train_steps is not None else int(os.environ.get("REPRO_TRAIN_STEPS", 40))
-    backend = TVMBackend(trials=48)
+    steps = train_steps if train_steps is not None else default_train_steps(full=40)
+    backend = TVMBackend(trials=tuning_trials(48))
     dataset = SyntheticImageDataset(num_classes=10, num_samples=192, image_size=8, seed=seed)
     train_set, val_set = dataset.split()
     config = TrainingConfig(max_steps=steps, eval_every=max(steps // 2, 1))
@@ -99,8 +99,13 @@ def run(target: HardwareTarget = MOBILE_CPU, train_steps: int | None = None, see
     result.points.append(CaseStudyPoint("int8_quantized", quantized_acc, int8_latency * 1e3))
 
     # Stacked convolution -----------------------------------------------------
-    stacked_model = resnet18(conv_factory=_stacked_conv_factory())
-    stacked_acc = Trainer(stacked_model, config).fit_classifier(train_set, val_set).best_accuracy
+    context = ("figure8", steps, seed)
+    stacked_acc = cached_baseline(
+        (context, "stacked_convolution"),
+        lambda: Trainer(resnet18(conv_factory=_stacked_conv_factory()), config)
+        .fit_classifier(train_set, val_set)
+        .best_accuracy,
+    )
     result.points.append(
         CaseStudyPoint("stacked_convolution", stacked_acc, _stacked_latency(backend, target) * 1e3)
     )
@@ -108,8 +113,13 @@ def run(target: HardwareTarget = MOBILE_CPU, train_steps: int | None = None, see
     # Operator 1 ---------------------------------------------------------------
     operator1 = build_operator1()
     factory = synthesized_conv_factory(operator1, coefficients=DEFAULT_COEFFICIENT_VALUES, seed=seed)
-    op1_model = resnet18(conv_factory=factory)
-    op1_acc = Trainer(op1_model, config).fit_classifier(train_set, val_set).best_accuracy
+    op1_acc = cached_reward(
+        context,
+        operator1.graph.signature(),
+        lambda: Trainer(resnet18(conv_factory=factory), config)
+        .fit_classifier(train_set, val_set)
+        .best_accuracy,
+    )
     op1_latency = LatencyEvaluator(
         slots=RESNET18_PROFILE, backend=backend, target=target,
         coefficients={K1: 3, GROUPS: 4, SHRINK: 4},

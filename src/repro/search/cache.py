@@ -1,0 +1,276 @@
+"""Process-wide evaluation-reuse subsystem.
+
+Search and the experiment harness are dominated by two repeated costs:
+
+* **proxy training** — substituting a candidate operator into a backbone and
+  training it for a handful of steps (the reward of Algorithm 1), and
+* **compiler tuning** — sweeping the schedule space of a loop-nest program
+  for one hardware target.
+
+Both are pure functions of small, hashable descriptions (the canonical pGraph
+signature plus the evaluation context; the loop-nest program plus the backend
+configuration and target), so this module provides process-wide caches for
+them:
+
+``reward_cache()``
+    rewards (proxy-training accuracies) keyed by ``(context, signature)``.
+    The *context* captures everything besides the operator that influences
+    the reward — backbone builder, training budget, dataset seed — so
+    distinct experiments never alias each other's rewards.
+
+``compile_cache()``
+    :class:`~repro.compiler.backends.TuneResult` values keyed by
+    ``(backend config, program, target)``.  Shared by every
+    ``CompilerBackend.compile`` call in the process.
+
+``baseline_cache()``
+    baseline (unsubstituted) accuracies and latencies keyed by the evaluation
+    context, so sessions and experiments compute each baseline exactly once.
+
+The module also hosts the run-budget knobs that the caches interact with:
+
+* ``REPRO_TRAIN_STEPS`` — proxy-training step budget (read by
+  :class:`repro.search.evaluator.EvaluationSettings`).
+* ``REPRO_SMOKE`` — when ``1``, experiments shrink their workloads (fewer
+  models / layers / samples, smaller tuning budgets) so the full benchmark
+  suite completes in minutes.  The benchmark conftest turns this on by
+  default; export ``REPRO_SMOKE=0`` for full-fidelity runs.
+* ``REPRO_EVAL_PROCESSES`` — opt-in process count for
+  :func:`parallel_map`, used by candidate evaluation fan-out.
+
+Everything here is stdlib-only and import-light so the compiler, the search
+core and the experiment harness can all depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+import pickle
+import threading
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+log = logging.getLogger(__name__)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+# ---------------------------------------------------------------------------
+# Environment knobs
+# ---------------------------------------------------------------------------
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer environment knob; malformed values fall back to the default."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        log.warning("ignoring malformed %s=%r (expected an integer)", name, raw)
+        return default
+
+
+def smoke_mode() -> bool:
+    """Whether the fast-path budget (``REPRO_SMOKE=1``) is active."""
+    return os.environ.get("REPRO_SMOKE", "0") not in ("", "0", "false", "no")
+
+
+def default_train_steps(full: int = 40, smoke: int = 8) -> int:
+    """The proxy-training step budget.
+
+    ``REPRO_TRAIN_STEPS`` always wins; otherwise smoke mode shrinks the
+    default so benchmark runs stay within their timeout.
+    """
+    return env_int("REPRO_TRAIN_STEPS", smoke if smoke_mode() else full)
+
+
+def tuning_trials(full: int, smoke: int | None = None) -> int:
+    """The schedule-tuning trial budget, shrunk under ``REPRO_SMOKE=1``."""
+    if not smoke_mode():
+        return full
+    return smoke if smoke is not None else max(full // 3, 8)
+
+
+def smoke_value(full: T, smoke: T) -> T:
+    """Pick between the full-fidelity and smoke-budget value of a knob."""
+    return smoke if smoke_mode() else full
+
+
+def evaluation_processes() -> int:
+    """Worker-process count for parallel candidate evaluation (default: serial)."""
+    return max(env_int("REPRO_EVAL_PROCESSES", 1), 1)
+
+
+def caches_enabled() -> bool:
+    """Whether the process-wide caches are active (``REPRO_EVAL_CACHE=0`` disables).
+
+    Disabling is meant for A/B timing and for debugging suspected stale-cache
+    issues; results must be identical either way because every cached value
+    is a pure function of its key.
+    """
+    return os.environ.get("REPRO_EVAL_CACHE", "1") not in ("", "0", "false", "no")
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(hits=self.hits, misses=self.misses)
+
+
+class KeyedCache:
+    """A thread-safe dict cache with hit/miss accounting."""
+
+    _MISSING = object()
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stats = CacheStats()
+        self._data: dict[Hashable, object] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def lookup(self, key: Hashable) -> tuple[bool, object]:
+        """``(found, value)`` for ``key``, updating the hit/miss counters."""
+        with self._lock:
+            value = self._data.get(key, self._MISSING)
+            if value is self._MISSING:
+                self.stats.misses += 1
+                return False, None
+            self.stats.hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: object) -> None:
+        with self._lock:
+            self._data[key] = value
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """Cached value for ``key``, computing (outside the lock) on a miss."""
+        if not caches_enabled():
+            return compute()
+        found, value = self.lookup(key)
+        if found:
+            return value  # type: ignore[return-value]
+        result = compute()
+        self.put(key, result)
+        return result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.stats = CacheStats()
+
+
+_REWARD_CACHE = KeyedCache("reward")
+_COMPILE_CACHE = KeyedCache("compile")
+_BASELINE_CACHE = KeyedCache("baseline")
+
+
+def reward_cache() -> KeyedCache:
+    """The process-wide reward cache keyed by ``(context, pGraph signature)``."""
+    return _REWARD_CACHE
+
+
+def compile_cache() -> KeyedCache:
+    """The process-wide compile cache keyed by ``(backend config, program, target)``."""
+    return _COMPILE_CACHE
+
+
+def baseline_cache() -> KeyedCache:
+    """The process-wide baseline accuracy/latency cache keyed by context."""
+    return _BASELINE_CACHE
+
+
+def clear_caches() -> None:
+    """Drop every cached evaluation (used by tests and long-running services)."""
+    for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE):
+        cache.clear()
+
+
+def cache_stats() -> dict[str, CacheStats]:
+    """Snapshot of every cache's counters, keyed by cache name."""
+    return {
+        cache.name: cache.stats.snapshot()
+        for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE)
+    }
+
+
+def cached_reward(context: Hashable, signature: str, compute: Callable[[], float]) -> float:
+    """The reward of one candidate under one evaluation context, computed once.
+
+    ``context`` must capture everything besides the operator that influences
+    the reward (backbone, training budget, dataset seed); ``signature`` is the
+    operator's canonical pGraph signature.
+    """
+    return _REWARD_CACHE.get_or_compute((context, signature), compute)
+
+
+def cached_baseline(context: Hashable, compute: Callable[[], float]) -> float:
+    """A baseline (unsubstituted) metric under one context, computed once."""
+    return _BASELINE_CACHE.get_or_compute(context, compute)
+
+
+# ---------------------------------------------------------------------------
+# Opt-in parallel evaluation
+# ---------------------------------------------------------------------------
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    processes: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]``, fanned out over worker processes when asked.
+
+    Parallelism is strictly opt-in: with ``processes`` (or the
+    ``REPRO_EVAL_PROCESSES`` environment knob) at 1 the map runs serially in
+    process, which is also the only path that warms the process-wide caches.
+    Any failure to fork or pickle falls back to the serial map so callers
+    never have to handle parallelism errors.
+    """
+    work: Sequence[T] = list(items)
+    count = processes if processes is not None else evaluation_processes()
+    if count <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    try:
+        # Setup-only guard: prove the payload can cross the process boundary
+        # and that fork is available.  Failures here mean "parallelism is not
+        # possible", so falling back to serial is correct.  Errors raised by
+        # ``fn`` itself during the map are genuine work failures and
+        # propagate to the caller first-class.
+        pickle.dumps(fn)
+        pickle.dumps(work)
+        context = multiprocessing.get_context("fork")
+        pool = context.Pool(min(count, len(work)))
+    except Exception as exc:  # unpicklable payloads, missing fork, ...
+        log.warning("parallel evaluation unavailable (%s); falling back to serial", exc)
+        return [fn(item) for item in work]
+    with pool:
+        return pool.map(fn, work)

@@ -11,11 +11,13 @@ into an end-to-end estimate.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.codegen.eager import LoweringError
 from repro.codegen.loopnest import lower_to_loopnest
 from repro.compiler.backends import CompilerBackend, TuneResult, loopnest_for_slot
 from repro.compiler.targets import HardwareTarget
@@ -24,6 +26,7 @@ from repro.ir.variables import Variable
 from repro.nn.data import SyntheticImageDataset
 from repro.nn.models.common import ConvSlot
 from repro.nn.trainer import Trainer, TrainingConfig
+from repro.search.cache import cached_baseline, cached_reward, default_train_steps
 from repro.search.extraction import (
     DEFAULT_COEFFICIENT_VALUES,
     binding_for_slot,
@@ -32,13 +35,20 @@ from repro.search.extraction import (
 )
 from repro.search.substitution import synthesized_conv_factory
 
+log = logging.getLogger(__name__)
+
 
 @dataclass
 class EvaluationSettings:
-    """Knobs shared by accuracy and latency evaluation."""
+    """Knobs shared by accuracy and latency evaluation.
+
+    ``train_steps`` defaults from the ``REPRO_TRAIN_STEPS`` environment
+    variable (the benchmark harness's budget knob); an explicit value always
+    wins over the environment.
+    """
 
     batch_size: int = 16
-    train_steps: int = 40
+    train_steps: int = field(default_factory=default_train_steps)
     image_size: int = 8
     num_classes: int = 10
     dataset_size: int = 192
@@ -46,6 +56,18 @@ class EvaluationSettings:
     coefficients: Mapping[Variable, int] = field(
         default_factory=lambda: dict(DEFAULT_COEFFICIENT_VALUES)
     )
+
+    def cache_key(self) -> tuple:
+        """Hashable description of every knob that influences a reward."""
+        return (
+            self.batch_size,
+            self.train_steps,
+            self.image_size,
+            self.num_classes,
+            self.dataset_size,
+            self.dataset_seed,
+            tuple(sorted(self.coefficients.items())),
+        )
 
 
 class AccuracyEvaluator:
@@ -66,6 +88,9 @@ class AccuracyEvaluator:
         )
         self.train_set, self.val_set = dataset.split()
         self._baseline_accuracy: float | None = None
+        builder_name = getattr(model_builder, "__qualname__", repr(model_builder))
+        builder_module = getattr(model_builder, "__module__", "")
+        self._context = ("accuracy", builder_module, builder_name, self.settings.cache_key())
 
     def _train(self, conv_factory) -> float:
         model = self.model_builder(conv_factory=conv_factory, image_size=self.settings.image_size,
@@ -81,23 +106,43 @@ class AccuracyEvaluator:
         return trainer.fit_classifier(self.train_set, self.val_set).best_accuracy
 
     def baseline_accuracy(self) -> float:
-        """Accuracy of the unmodified backbone (cached)."""
+        """Accuracy of the unmodified backbone (computed once per context)."""
         if self._baseline_accuracy is None:
             from repro.nn.models.common import default_conv_factory
 
-            self._baseline_accuracy = self._train(default_conv_factory)
+            self._baseline_accuracy = cached_baseline(
+                self._context, lambda: self._train(default_conv_factory)
+            )
         return self._baseline_accuracy
 
     def evaluate(self, operator: SynthesizedOperator, seed: int = 0) -> float:
-        """Validation accuracy of the backbone with ``operator`` substituted in."""
+        """Validation accuracy of the backbone with ``operator`` substituted in.
+
+        Rewards are memoized process-wide by (evaluation context, canonical
+        pGraph signature), so repeated searches and experiments over the same
+        backbone never re-train the same candidate.
+        """
+        signature = operator.graph.signature()
+        return cached_reward(
+            (self._context, seed), signature, lambda: self._evaluate_uncached(operator, seed)
+        )
+
+    def _evaluate_uncached(self, operator: SynthesizedOperator, seed: int) -> float:
         factory = synthesized_conv_factory(
             operator, coefficients=self.settings.coefficients, seed=seed
         )
         try:
             return self._train(factory)
-        except Exception:
+        except (LoweringError, ValueError) as exc:
             # Operators that cannot be instantiated for some layer binding
             # (e.g. indivisible coefficient choices) receive zero reward.
+            # Anything else propagates: a crash during training is a genuine
+            # bug, not an invalid candidate.
+            log.warning(
+                "candidate received zero reward: %s (operator %s)",
+                exc,
+                operator.graph.signature(),
+            )
             return 0.0
 
     def accuracy_loss(self, operator: SynthesizedOperator) -> float:
@@ -115,9 +160,27 @@ class LatencyEvaluator:
     coefficients: Mapping[Variable, int] = field(
         default_factory=lambda: dict(DEFAULT_COEFFICIENT_VALUES)
     )
+    _baseline_latency: float | None = field(default=None, init=False, repr=False, compare=False)
 
     def baseline_latency(self) -> float:
-        """Latency (seconds) of the original model: every slot is a standard conv."""
+        """Latency (seconds) of the original model: every slot is a standard conv.
+
+        Memoized per instance and process-wide by (slots, backend config,
+        target, batch): the baseline does not depend on any candidate, so
+        per-candidate evaluator instances all share one computation.
+        """
+        if self._baseline_latency is None:
+            context = (
+                "latency",
+                tuple(self.slots),
+                self.backend.config_key(),
+                self.target,
+                self.batch,
+            )
+            self._baseline_latency = cached_baseline(context, self._baseline_latency_uncached)
+        return self._baseline_latency
+
+    def _baseline_latency_uncached(self) -> float:
         total = 0.0
         for slot in self.slots:
             program = loopnest_for_slot(slot, batch=self.batch)

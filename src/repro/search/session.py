@@ -13,6 +13,7 @@ A :class:`SearchSession` ties everything together for one backbone model:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -21,6 +22,7 @@ from repro.compiler.targets import HardwareTarget, MOBILE_CPU
 from repro.core.enumeration import EnumerationOptions, default_options_for
 from repro.core.mcts import MCTS, MCTSConfig, SampleRecord
 from repro.core.operator import OperatorSpec, SynthesizedOperator
+from repro.search.cache import parallel_map
 from repro.search.evaluator import AccuracyEvaluator, EvaluationSettings, LatencyEvaluator
 from repro.search.extraction import (
     VISION_COEFFICIENTS,
@@ -87,6 +89,9 @@ class SearchSession:
         )
         self.accuracy_evaluator = AccuracyEvaluator(model_builder, self.config.evaluation)
         self.original_macs = original_macs(self.slots, batch=self.config.evaluation.batch_size)
+        #: one latency evaluator per (backend, target), created on first use so
+        #: the baseline latency is compiled exactly once per pair per session.
+        self._latency_evaluators: dict[tuple[str, str], LatencyEvaluator] = {}
 
     # -- synthesis ----------------------------------------------------------
 
@@ -111,6 +116,9 @@ class SearchSession:
             config=MCTSConfig(
                 iterations=iterations if iterations is not None else self.config.mcts_iterations,
                 seed=self.config.mcts_seed,
+                # Share rewards with every search over the same backbone and
+                # evaluation settings (the evaluator's cache context).
+                cache_context=self.accuracy_evaluator._context,
             ),
         )
         samples = search.run()
@@ -118,16 +126,45 @@ class SearchSession:
 
     # -- evaluation ----------------------------------------------------------
 
-    def evaluate_candidates(self, samples: Sequence[SampleRecord]) -> list[CandidateResult]:
+    def evaluate_candidates(
+        self, samples: Sequence[SampleRecord], processes: int | None = None
+    ) -> list[CandidateResult]:
+        """Latency-evaluate the accuracy-qualified samples.
+
+        ``processes`` (default: the ``REPRO_EVAL_PROCESSES`` environment knob)
+        opts into fanning the per-candidate evaluation out over worker
+        processes; the serial path additionally warms the process-wide caches.
+        """
         baseline = self.accuracy_evaluator.baseline_accuracy()
-        results: list[CandidateResult] = []
-        for record in samples:
-            loss = baseline - record.reward
-            if loss > self.config.accuracy_margin:
-                continue
-            results.append(self.evaluate_operator(record.operator, accuracy=record.reward))
+        qualified = [
+            record
+            for record in samples
+            if baseline - record.reward <= self.config.accuracy_margin
+        ]
+        # ``partial`` keeps the session on the callable, so it crosses the
+        # process boundary once per worker chunk instead of once per record.
+        results = parallel_map(
+            functools.partial(_evaluate_sample, self), qualified, processes=processes
+        )
         results.sort(key=lambda result: min(result.latencies.values(), default=float("inf")))
         return results
+
+    def _latency_evaluator(self, backend: CompilerBackend, target: HardwareTarget) -> LatencyEvaluator:
+        key = (backend.name, target.name)
+        evaluator = self._latency_evaluators.get(key)
+        if evaluator is None:
+            evaluator = LatencyEvaluator(
+                slots=self.slots,
+                backend=backend,
+                target=target,
+                batch=1,
+                coefficients=self.config.evaluation.coefficients,
+            )
+            # Hoisted out of the per-candidate loop: the baseline is a property
+            # of the (backend, target) pair, so compile it exactly once here.
+            evaluator.baseline_latency()
+            self._latency_evaluators[key] = evaluator
+        return evaluator
 
     def evaluate_operator(
         self, operator: SynthesizedOperator, accuracy: float | None = None
@@ -146,15 +183,14 @@ class SearchSession:
         )
         for backend in self.backends:
             for target in self.targets:
-                evaluator = LatencyEvaluator(
-                    slots=self.slots,
-                    backend=backend,
-                    target=target,
-                    batch=1,
-                    coefficients=self.config.evaluation.coefficients,
-                )
+                evaluator = self._latency_evaluator(backend, target)
                 latency = evaluator.substituted_latency(operator)
                 key = (backend.name, target.name)
                 result.latencies[key] = latency
                 result.speedups[key] = evaluator.baseline_latency() / max(latency, 1e-12)
         return result
+
+
+def _evaluate_sample(session: "SearchSession", record: SampleRecord) -> CandidateResult:
+    """Module-level worker so the parallel map can pickle it under fork."""
+    return session.evaluate_operator(record.operator, accuracy=record.reward)

@@ -1,0 +1,317 @@
+"""Tests for the evaluation-reuse subsystem (reward/compile/baseline caches).
+
+Covers the process-wide caches in :mod:`repro.search.cache`, their wiring
+into MCTS, the compiler backends and the search session, and the budget
+plumbing bugfixes (``REPRO_TRAIN_STEPS``, ``rollout_depth=0``, narrowed
+reward-suppression).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.eager import LoweringError
+from repro.compiler.backends import CompilerBackend, TuneResult, TVMBackend, loopnest_for_slot
+from repro.compiler.schedule import default_schedule
+from repro.compiler.targets import MOBILE_CPU
+from repro.core.enumeration import default_options_for
+from repro.core.library import K, M, OUT_FEATURES, matmul_spec
+from repro.core.mcts import MCTS, MCTSConfig
+from repro.nn.models.common import ConvSlot
+from repro.nn.models.resnet import resnet18
+from repro.search import SearchConfig, SearchSession
+from repro.search.cache import (
+    KeyedCache,
+    cache_stats,
+    cached_reward,
+    caches_enabled,
+    clear_caches,
+    compile_cache,
+    default_train_steps,
+    parallel_map,
+    reward_cache,
+    smoke_mode,
+)
+from repro.search.evaluator import AccuracyEvaluator, EvaluationSettings
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Each test starts and ends with empty process-wide caches."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _matmul_search(reward_fn, *, seed=1, iterations=40, cache_context=None, rollout_depth=None):
+    spec = matmul_spec(bindings=({M: 4, K: 6, OUT_FEATURES: 5},))
+    options = default_options_for(spec, coefficients=[], max_depth=3)
+    return MCTS(
+        spec=spec,
+        options=options,
+        reward_fn=reward_fn,
+        config=MCTSConfig(
+            iterations=iterations,
+            seed=seed,
+            cache_context=cache_context,
+            rollout_depth=rollout_depth,
+        ),
+    )
+
+
+class TestKeyedCache:
+    def test_get_or_compute_counts_hits_and_misses(self):
+        cache = KeyedCache("t")
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 7) == 7
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 8) == 7
+        assert len(calls) == 1
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_disable_knob_bypasses_the_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EVAL_CACHE", "0")
+        assert not caches_enabled()
+        cache = KeyedCache("t")
+        calls = []
+        cache.get_or_compute("k", lambda: calls.append(1) or 1)
+        cache.get_or_compute("k", lambda: calls.append(1) or 1)
+        assert len(calls) == 2
+        monkeypatch.delenv("REPRO_EVAL_CACHE")
+        assert caches_enabled()
+
+    def test_clear_resets_contents_and_stats(self):
+        cache = KeyedCache("t")
+        cache.put("k", 1)
+        cache.lookup("k")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+
+class TestRewardCacheAcrossRuns:
+    def test_second_mcts_run_reuses_rewards(self):
+        calls = []
+
+        def reward(operator):
+            calls.append(operator.graph.signature())
+            return 0.5
+
+        first = _matmul_search(reward, cache_context="shared-spec")
+        first_samples = first.run()
+        first_calls = len(calls)
+        assert first_samples and first_calls > 0
+
+        second = _matmul_search(reward, cache_context="shared-spec")
+        second_samples = second.run()
+        # Identical seed and spec: every rollout's reward is already cached,
+        # so the reward function is never invoked again...
+        assert len(calls) == first_calls
+        assert reward_cache().stats.hits > 0
+        # ...but the second run still records its own samples.
+        assert [s.operator.graph.signature() for s in second_samples] == [
+            s.operator.graph.signature() for s in first_samples
+        ]
+
+    def test_within_run_memoization_survives_cache_disable(self, monkeypatch):
+        """MCTS never re-evaluates a signature in one run, even with caches off."""
+        monkeypatch.setenv("REPRO_EVAL_CACHE", "0")
+        calls = []
+
+        def reward(operator):
+            calls.append(operator.graph.signature())
+            return 0.5
+
+        _matmul_search(reward, iterations=50).run()
+        assert len(calls) == len(set(calls))
+
+    def test_private_contexts_do_not_share_rewards(self):
+        calls = []
+
+        def reward(operator):
+            calls.append(operator.graph.signature())
+            return 0.5
+
+        _matmul_search(reward).run()  # cache_context=None: instance-private
+        first_calls = len(calls)
+        _matmul_search(reward).run()
+        assert len(calls) == 2 * first_calls
+
+
+class TestRolloutDepthZero:
+    def test_rollout_depth_zero_is_respected(self):
+        """``rollout_depth=0`` must not silently fall back to max_depth."""
+
+        def reward(operator):  # pragma: no cover - must never run
+            raise AssertionError("rollout_depth=0 should prevent any completion")
+
+        search = _matmul_search(reward, iterations=10, rollout_depth=0)
+        samples = search.run()
+        assert samples == []
+
+    def test_rollout_depth_none_still_defaults_to_max_depth(self):
+        search = _matmul_search(lambda operator: 0.5, iterations=40, rollout_depth=None)
+        assert search.run(), "default rollout depth should still find operators"
+
+
+class TestCompileCache:
+    def test_compile_cache_hit_counts(self):
+        backend = TVMBackend(trials=8)
+        program = loopnest_for_slot(ConvSlot("c", 16, 16, 8, 3, 1))
+        first = backend.compile(program, MOBILE_CPU)
+        second = backend.compile(program, MOBILE_CPU)
+        assert second is first
+        stats = cache_stats()["compile"]
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_different_backend_config_is_a_different_key(self):
+        program = loopnest_for_slot(ConvSlot("c", 16, 16, 8, 3, 1))
+        TVMBackend(trials=8).compile(program, MOBILE_CPU)
+        TVMBackend(trials=16).compile(program, MOBILE_CPU)
+        assert cache_stats()["compile"].misses == 2
+
+    def test_second_suite_run_has_positive_hit_rate(self):
+        """Re-running an evaluation hits the caches instead of re-tuning."""
+        backend = TVMBackend(trials=8)
+        slots = [ConvSlot(f"c{i}", 16, 16, 8, 3, 1) for i in range(3)]
+        for _ in range(2):
+            for slot in slots:
+                backend.compile(loopnest_for_slot(slot), MOBILE_CPU)
+        stats = cache_stats()["compile"]
+        assert stats.hit_rate > 0.0
+        # The three slots share one shape, so even the first sweep reuses it.
+        assert stats.misses == 1
+
+
+class _CountingBackend(CompilerBackend):
+    """A backend that counts how many programs it actually tunes."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.compiled = 0
+
+    def config_key(self):
+        return (self.name, id(self))  # never shares cache entries across tests
+
+    def _compile_uncached(self, program, target):
+        self.compiled += 1
+        return TuneResult(
+            latency_seconds=1e-3, schedule=default_schedule(), backend=self.name, trials=1
+        )
+
+
+class TestSessionBaselineHoisting:
+    def test_baseline_compiled_exactly_once_per_session(self):
+        backend = _CountingBackend()
+        session = SearchSession(
+            resnet18,
+            config=SearchConfig(evaluation=EvaluationSettings(train_steps=1)),
+            backends=[backend],
+            targets=[MOBILE_CPU],
+        )
+        from repro.core.library import build_operator2
+
+        operator = build_operator2()
+        session.evaluate_operator(operator, accuracy=1.0)
+        after_first = backend.compiled
+        session.evaluate_operator(operator, accuracy=1.0)
+        # The second candidate triggers no further baseline compilation: every
+        # unique program was compiled during the first evaluation (identical
+        # slot programs also dedupe through the compile cache).
+        assert backend.compiled == after_first
+
+    def test_accuracy_baseline_trained_once_per_session(self):
+        settings = EvaluationSettings(train_steps=1, dataset_size=32, batch_size=8)
+        evaluator = AccuracyEvaluator(resnet18, settings)
+        calls = []
+        original = evaluator._train
+
+        def counting_train(factory):
+            calls.append(factory)
+            return original(factory)
+
+        evaluator._train = counting_train
+        first = evaluator.baseline_accuracy()
+        second = evaluator.baseline_accuracy()
+        assert first == second
+        assert len(calls) == 1
+
+
+class TestBudgetPlumbing:
+    def test_train_steps_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "7")
+        assert EvaluationSettings().train_steps == 7
+
+    def test_explicit_train_steps_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "7")
+        assert EvaluationSettings(train_steps=3).train_steps == 3
+
+    def test_malformed_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "not-a-number")
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        assert EvaluationSettings().train_steps == 40
+
+    def test_smoke_mode_shrinks_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRAIN_STEPS", raising=False)
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        assert smoke_mode()
+        assert default_train_steps(full=40, smoke=8) == 8
+        monkeypatch.setenv("REPRO_SMOKE", "0")
+        assert not smoke_mode()
+        assert default_train_steps(full=40, smoke=8) == 40
+
+
+class TestRewardSuppressionNarrowing:
+    def _evaluator(self):
+        return AccuracyEvaluator(
+            resnet18, EvaluationSettings(train_steps=1, dataset_size=32, batch_size=8)
+        )
+
+    def test_expected_instantiation_failures_get_zero_reward(self):
+        from repro.core.library import build_operator2
+
+        evaluator = self._evaluator()
+        evaluator._train = lambda factory: (_ for _ in ()).throw(LoweringError("bad binding"))
+        assert evaluator.evaluate(build_operator2()) == 0.0
+
+    def test_unexpected_exceptions_propagate(self):
+        from repro.core.library import build_operator2
+
+        evaluator = self._evaluator()
+        evaluator._train = lambda factory: (_ for _ in ()).throw(RuntimeError("genuine bug"))
+        with pytest.raises(RuntimeError, match="genuine bug"):
+            evaluator.evaluate(build_operator2())
+
+
+class TestParallelMap:
+    def test_serial_default(self):
+        assert parallel_map(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_parallel_processes(self):
+        assert parallel_map(_square, [1, 2, 3, 4], processes=2) == [1, 4, 9, 16]
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        local = 10
+        assert parallel_map(lambda x: x + local, [1, 2], processes=2) == [11, 12]
+
+
+def _square(x):
+    return x * x
+
+
+class TestCachedRewardHelper:
+    def test_same_signature_same_context_computed_once(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return 0.25
+
+        assert cached_reward("ctx", "sig", compute) == 0.25
+        assert cached_reward("ctx", "sig", compute) == 0.25
+        assert len(calls) == 1
+
+    def test_contexts_are_isolated(self):
+        cached_reward("ctx-a", "sig", lambda: 0.1)
+        assert cached_reward("ctx-b", "sig", lambda: 0.9) == 0.9
