@@ -1,0 +1,17 @@
+# Convenience targets; scripts/check.sh is the CI-style smoke job.
+
+PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH
+
+.PHONY: test smoke check
+
+test:
+	python -m pytest -x -q \
+	  --deselect benchmarks/test_figure9.py::test_figure9_layerwise_comparison
+
+smoke:
+	python -m repro.cli run figure5 --smoke
+	python -m repro.cli report
+
+check:
+	bash scripts/check.sh

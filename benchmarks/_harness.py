@@ -1,11 +1,44 @@
-"""Helpers shared by the benchmark files."""
+"""Helpers shared by the benchmark files.
+
+Benchmarks are thin wrappers over the same runner API the ``repro`` CLI uses
+(:func:`repro.experiments.runner.run_experiment`), so a figure regenerated
+from pytest and one regenerated from the command line go through identical
+code.  The runner is invoked without an artifact store: benchmark runs assert
+on the live result object and leave no files behind (use ``repro run`` to
+persist records).
+"""
 
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark.
+    """Run a callable exactly once under pytest-benchmark.
 
     The quantity of interest is the experiment's output (the regenerated
     table/figure), not the harness's wall-clock time, so a single round is
     enough; pytest-benchmark still records the timing for regression tracking.
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_experiment_once(benchmark, name, **options):
+    """Run one registered experiment through the shared runner, exactly once.
+
+    ``options`` are per-experiment keyword arguments (e.g. ``models=[...]``,
+    ``train_steps=8``) forwarded to the experiment's ``run()`` via
+    :class:`~repro.experiments.runner.ExperimentConfig`.  Budget knobs that
+    the config models as first-class fields (``train_steps``, ``seed``,
+    ``processes``, ``smoke``) are lifted onto those fields so a benchmark run
+    and the equivalent ``repro run`` CLI invocation build the *same* config —
+    and therefore records with comparable fingerprints.  Returns the
+    :class:`~repro.experiments.runner.RunOutcome`: assertions use
+    ``outcome.result`` (the experiment's result dataclass) and the rendered
+    table is on ``outcome.record.table``.
+    """
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+
+    config_fields = {
+        key: options.pop(key)
+        for key in ("smoke", "train_steps", "processes", "seed")
+        if key in options
+    }
+    config = ExperimentConfig(options=options, **config_fields)
+    return run_once(benchmark, run_experiment, name, config)

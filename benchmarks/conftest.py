@@ -1,10 +1,13 @@
 """Benchmark harness configuration.
 
-Each benchmark regenerates one table or figure of the paper (see DESIGN.md's
-experiment index and EXPERIMENTS.md for the recorded outcomes).  Benchmarks
-run their experiment exactly once per session (rounds=1) because the quantity
-of interest is the experiment's *output*, not the harness's wall-clock time;
-the timing is still recorded by pytest-benchmark for regression tracking.
+Each benchmark regenerates one table or figure of the paper through the same
+runner API the ``repro`` CLI uses (:mod:`repro.experiments.runner`, via
+``benchmarks._harness.run_experiment_once``), so pytest and the command line
+produce results identically; see docs/experiments.md for the figure → command
+map.  Benchmarks run their experiment exactly once per session (rounds=1)
+because the quantity of interest is the experiment's *output*, not the
+harness's wall-clock time; the timing is still recorded by pytest-benchmark
+for regression tracking.
 
 Budget knobs (all flow through :mod:`repro.search.cache`):
 

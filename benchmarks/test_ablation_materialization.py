@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import ablation_materialization
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(60)
 def test_materialized_reduction_ablation(benchmark):
-    result = run_once(benchmark, ablation_materialization.run)
+    result = run_experiment_once(benchmark, "ablation-materialization").result
     print()
     print(result.to_table())
     # The Figure 4 example: naive k*H MACs vs (1 + k/s)*H after materialization.

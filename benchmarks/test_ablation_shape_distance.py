@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import ablation_shape_distance
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(120)
 def test_shape_distance_ablation(benchmark):
-    result = run_once(benchmark, ablation_shape_distance.run)
+    result = run_experiment_once(benchmark, "ablation-shape-distance").result
     print()
     print(result.to_table())
     # Guided sampling finds valid operators; unguided sampling finds (almost)

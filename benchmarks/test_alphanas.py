@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import alphanas_comparison
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(120)
 def test_alphanas_comparison(benchmark):
-    result = run_once(benchmark, alphanas_comparison.run)
+    result = run_experiment_once(benchmark, "alphanas").result
     print()
     print(result.to_table())
     for row in result.rows:

@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import figure10
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(120)
 def test_figure10_gpt2_perplexity(benchmark):
-    result = run_once(benchmark, figure10.run, train_steps=30)
+    result = run_experiment_once(benchmark, "figure10", train_steps=30).result
     print()
     print(result.to_table())
     # Both runs actually trained (losses decreased from their starting point).

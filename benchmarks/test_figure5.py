@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import figure5
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(300)
 def test_figure5_end_to_end_speedups(benchmark):
-    result = run_once(benchmark, figure5.run)
+    result = run_experiment_once(benchmark, "figure5").result
     print()
     print(result.to_table())
     # The paper's headline claim: Syno finds operators that speed up every

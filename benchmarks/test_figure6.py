@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import figure6
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(600)
 def test_figure6_pareto_curves(benchmark):
-    result = run_once(benchmark, figure6.run, models=["resnet18", "resnet34"])
+    result = run_experiment_once(benchmark, "figure6", models=["resnet18", "resnet34"]).result
     print()
     print(result.to_table())
     for model in ("resnet18", "resnet34"):
@@ -25,7 +23,9 @@ def test_figure6_pareto_curves(benchmark):
 @pytest.mark.timeout(600)
 def test_figure6_resnet34_vs_resnet18_headline(benchmark):
     """The paper highlights Syno-optimized ResNet-34 beating baseline ResNet-18 in latency."""
-    result = run_once(benchmark, figure6.run, models=["resnet18", "resnet34"], train_steps=8)
+    result = run_experiment_once(
+        benchmark, "figure6", models=["resnet18", "resnet34"], train_steps=8
+    ).result
     baseline18 = next(
         p for p in result.points if p.model == "resnet18" and p.candidate == "baseline"
     )

@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import figure8
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(300)
 def test_figure8_case_study(benchmark):
-    result = run_once(benchmark, figure8.run)
+    result = run_experiment_once(benchmark, "figure8").result
     print()
     print(result.to_table())
     original = result.point("original")

@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import figure9
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(300)
 def test_figure9_layerwise_comparison(benchmark):
-    result = run_once(benchmark, figure9.run)
+    result = run_experiment_once(benchmark, "figure9").result
     print()
     print(result.to_table())
     print("Syno-vs-NAS-PTE geomean (TVM, mobile CPU):",

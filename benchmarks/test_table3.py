@@ -2,14 +2,12 @@
 
 import pytest
 
-from benchmarks._harness import run_once
-
-from repro.experiments import table3
+from benchmarks._harness import run_experiment_once
 
 
 @pytest.mark.timeout(120)
 def test_table3_canonicalization_rates(benchmark):
-    result = run_once(benchmark, table3.run)
+    result = run_experiment_once(benchmark, "table3").result
     print()
     print(result.to_table())
     # Canonicalization prunes a large majority of random candidates

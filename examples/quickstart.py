@@ -5,7 +5,9 @@ This walks the public API end to end:
 1. express a standard operator (2-D convolution) with the Syno primitives;
 2. lower it to a differentiable module and run it on data;
 3. run guided synthesis for the matmul slot and look at what comes out;
-4. run a small MCTS search with a toy reward.
+4. run a small MCTS search with a toy reward;
+5. run a paper experiment through the shared runner API — the same code path
+   as ``repro run <experiment>`` — and read back its structured ResultRecord.
 
 Run with:  python examples/quickstart.py
 """
@@ -81,6 +83,18 @@ def main() -> None:
     best = search.run()[0]
     print("best reward:", round(best.reward, 3))
     print(best.operator.describe())
+
+    section("6. A paper experiment through the runner API (same path as `repro run`)")
+    # No ad-hoc knob fiddling: ExperimentConfig carries smoke/train_steps/seed
+    # and the runner maps them onto the REPRO_* environment for the duration
+    # of the run.  Passing a store would persist the record like the CLI does.
+    from repro.experiments.runner import ExperimentConfig, run_experiment
+
+    outcome = run_experiment("ablation-materialization", ExperimentConfig())
+    print(outcome.record.table)
+    print("metrics:", outcome.record.metrics)
+    print("fingerprint:", outcome.record.fingerprint())
+    print("equivalent CLI: repro run ablation-materialization")
 
 
 if __name__ == "__main__":

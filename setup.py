@@ -1,10 +1,21 @@
-"""Setuptools shim.
+"""Packaging for the repro distribution.
 
-The project is configured through ``pyproject.toml``; this file exists so that
-legacy editable installs (``pip install -e . --no-use-pep517``) work in offline
-environments where the ``wheel`` package is unavailable.
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so legacy editable
+installs (``pip install -e . --no-use-pep517``) work in offline environments
+where the ``wheel`` package is unavailable.  Installing registers the
+``repro`` console script; from a source checkout the same CLI is available as
+``python -m repro.cli`` with ``src`` on ``PYTHONPATH``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="0.2.0",
+    description="Reproduction of 'Syno: Structured Synthesis for Neural Operators' (ASPLOS'25)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.cli.main:main"]},
+)

@@ -1,0 +1,19 @@
+"""The ``repro`` command-line interface.
+
+Entry points:
+
+* ``repro run <experiment>`` — regenerate one paper figure/table through the
+  shared runner, persisting a :class:`repro.results.ResultRecord` and the
+  evaluation-cache snapshot into the artifact store.
+* ``repro report`` — render stored runs into a markdown or CSV summary.
+* ``repro cache`` — show in-process and persisted cache statistics.
+* ``repro list`` — list runnable experiments and stored runs.
+
+Installed as a console script by ``setup.py``; also runnable without
+installation as ``python -m repro.cli`` from a source checkout (with ``src``
+on ``PYTHONPATH``).
+"""
+
+from repro.cli.main import build_parser, config_from_args, main
+
+__all__ = ["build_parser", "config_from_args", "main"]

@@ -1,0 +1,7 @@
+"""``python -m repro.cli`` — the uninstalled spelling of the ``repro`` script."""
+
+import sys
+
+from repro.cli.main import main
+
+sys.exit(main())

@@ -1,0 +1,369 @@
+"""Implementation of the ``repro`` command line (see :mod:`repro.cli`).
+
+The CLI is a thin shell over three layers that do the real work:
+
+* :mod:`repro.experiments.runner` — maps an :class:`ExperimentConfig` onto
+  the experiment's ``run()`` and the ``REPRO_*`` environment knobs;
+* :mod:`repro.results` — the artifact store that records land in;
+* :mod:`repro.search.cache` — the process-wide caches, snapshotted to disk
+  around every run so repeated invocations reuse each other's work.
+
+``config_from_args`` is deliberately a pure function of the parsed arguments
+so the flag → config mapping is unit-testable without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import csv
+import io
+import logging
+import sys
+from pathlib import Path
+
+from repro.experiments.runner import (
+    ExperimentConfig,
+    experiment_descriptions,
+    experiment_names,
+    run_experiment,
+)
+from repro.results import ArtifactStore, ResultRecord
+from repro.search.cache import (
+    cache_sizes,
+    cache_stats,
+    clear_caches,
+    load_caches,
+    save_caches,
+)
+
+log = logging.getLogger(__name__)
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run, store and report the paper's experiments.",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log cache and runner activity"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one experiment and store its record")
+    run.add_argument("experiment", choices=experiment_names(), help="which figure/table to run")
+    fidelity = run.add_mutually_exclusive_group()
+    fidelity.add_argument(
+        "--smoke", action="store_true", help="shrunken workloads (REPRO_SMOKE=1)"
+    )
+    fidelity.add_argument(
+        "--full", action="store_true", help="full-fidelity workloads (REPRO_SMOKE=0)"
+    )
+    run.add_argument("--train-steps", type=int, help="proxy-training step budget")
+    run.add_argument("--processes", type=int, help="worker processes for candidate evaluation")
+    run.add_argument("--seed", type=int, help="random seed for experiments that take one")
+    run.add_argument(
+        "--option",
+        action="append",
+        default=[],
+        type=_parse_option,
+        metavar="KEY=VALUE",
+        help="extra keyword for the experiment's run(), e.g. models=['resnet18'] "
+        "(VALUE is parsed as a Python literal, falling back to a string)",
+    )
+    run.add_argument("--results-dir", help="artifact store root (default: $REPRO_RESULTS_DIR or ./results)")
+    run.add_argument(
+        "--no-cache-persist",
+        action="store_true",
+        help="do not load/save the evaluation-cache snapshot around this run",
+    )
+
+    report = subparsers.add_parser("report", help="summarize stored runs")
+    report.add_argument("--results-dir", help="artifact store root")
+    report.add_argument("--experiment", choices=experiment_names(), help="only this experiment")
+    report.add_argument("--format", choices=("markdown", "csv"), default="markdown")
+    report.add_argument("--output", help="write the report here instead of stdout")
+
+    cache = subparsers.add_parser("cache", help="show evaluation-cache statistics")
+    cache.add_argument("--results-dir", help="artifact store root")
+    cache.add_argument(
+        "--clear", action="store_true", help="delete the persisted snapshot and clear in-memory caches"
+    )
+
+    lister = subparsers.add_parser("list", help="list experiments and stored runs")
+    lister.add_argument("--results-dir", help="artifact store root")
+    return parser
+
+
+def _parse_option(text: str) -> tuple[str, object]:
+    key, separator, raw = text.partition("=")
+    if not separator or not key:
+        raise argparse.ArgumentTypeError(f"expected KEY=VALUE, got {text!r}")
+    try:
+        value: object = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key, value
+
+
+def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """The pure flag → :class:`ExperimentConfig` mapping of ``repro run``."""
+    smoke: bool | None = None
+    if getattr(args, "smoke", False):
+        smoke = True
+    elif getattr(args, "full", False):
+        smoke = False
+    # argparse already ran each --option through _parse_option (type=), so
+    # entries arrive as (key, value) pairs and malformed input died with a
+    # usage error at parse time.
+    options = dict(getattr(args, "option", []))
+    return ExperimentConfig(
+        smoke=smoke,
+        train_steps=args.train_steps,
+        processes=args.processes,
+        seed=args.seed,
+        options=options,
+    )
+
+
+def _store(args: argparse.Namespace) -> ArtifactStore:
+    return ArtifactStore(getattr(args, "results_dir", None))
+
+
+# ---------------------------------------------------------------------------
+# repro run
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    store = _store(args)
+    config = config_from_args(args)
+    persist = not args.no_cache_persist
+
+    if persist:
+        loaded = load_caches(str(store.cache_path))
+        if any(loaded.values()):
+            print(
+                "loaded cache snapshot:",
+                ", ".join(f"{name}={count}" for name, count in sorted(loaded.items())),
+            )
+
+    def _save_snapshot() -> None:
+        if not persist:
+            return
+        saved = save_caches(str(store.cache_path))
+        if saved:
+            print(
+                f"cache snapshot saved to {store.cache_path}:",
+                ", ".join(f"{name}={count}" for name, count in sorted(saved.items())),
+            )
+        else:
+            # Caches disabled (REPRO_EVAL_CACHE=0) or the write failed —
+            # save_caches already logged the details; don't claim success.
+            print("cache snapshot not written")
+
+    try:
+        outcome = run_experiment(args.experiment, config, store=store)
+    except KeyboardInterrupt:
+        # The partial record (status=interrupted) was already stored by the
+        # runner; persisting the caches makes the rerun skip finished work.
+        _save_snapshot()
+        print(
+            f"\ninterrupted — rerun `repro run {args.experiment}` to resume "
+            "from the persisted caches",
+            file=sys.stderr,
+        )
+        return 130
+    except Exception as exc:
+        _save_snapshot()
+        print(f"experiment failed: {exc}", file=sys.stderr)
+        return 1
+
+    record = outcome.record
+    print(record.table)
+    print()
+    for name, value in sorted(record.metrics.items()):
+        print(f"  {name} = {_format_number(value)}")
+    print()
+    print(f"run {record.run_id}: {record.status} in {record.duration_seconds:.1f}s")
+    print(f"fingerprint {record.fingerprint()}")
+    print("cache activity:", _format_cache_delta(record.cache_stats))
+    print(f"record stored in {store.run_dir(record.run_id)}")
+    _save_snapshot()
+    return 0
+
+
+def _format_number(value) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _format_cache_delta(cache_deltas: dict) -> str:
+    parts = []
+    for name in sorted(cache_deltas):
+        delta = cache_deltas[name]
+        parts.append(f"{name} {delta.get('hits', 0)} hits / {delta.get('misses', 0)} misses")
+    return "; ".join(parts) if parts else "none"
+
+
+# ---------------------------------------------------------------------------
+# repro report
+# ---------------------------------------------------------------------------
+
+
+def render_markdown_report(records: list[ResultRecord]) -> str:
+    """Per-experiment markdown tables over the stored runs."""
+    if not records:
+        return "No stored runs. Start with: `repro run figure5 --smoke`"
+    lines: list[str] = ["# Experiment runs", ""]
+    experiments = sorted({record.experiment for record in records})
+    for experiment in experiments:
+        group = [record for record in records if record.experiment == experiment]
+        metric_names = sorted({name for record in group for name in record.metrics})
+        header = ["run", "status", "started (UTC)", "duration (s)", "fingerprint", *metric_names]
+        lines.append(f"## {experiment}")
+        lines.append("")
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for record in group:
+            row = [
+                record.run_id,
+                record.status,
+                record.started_at,
+                f"{record.duration_seconds:.1f}",
+                record.fingerprint(),
+                *[_format_number(record.metrics.get(name)) for name in metric_names],
+            ]
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_csv_report(records: list[ResultRecord]) -> str:
+    """Long-format CSV: one row per (run, metric)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["run_id", "experiment", "status", "started_at", "duration_seconds", "fingerprint", "metric", "value"]
+    )
+    for record in records:
+        base = [
+            record.run_id,
+            record.experiment,
+            record.status,
+            record.started_at,
+            record.duration_seconds,
+            record.fingerprint(),
+        ]
+        if not record.metrics:
+            writer.writerow(base + ["", ""])
+        for name in sorted(record.metrics):
+            value = record.metrics[name]
+            writer.writerow(base + [name, "" if value is None else value])
+    return buffer.getvalue()
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = _store(args)
+    records = store.list_runs(args.experiment)
+    if args.format == "csv":
+        text = render_csv_report(records)
+    else:
+        text = render_markdown_report(records)
+    if args.output:
+        Path(args.output).write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if not records:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro cache
+# ---------------------------------------------------------------------------
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    store = _store(args)
+    path = store.cache_path
+    if args.clear:
+        clear_caches()
+        if path.exists():
+            path.unlink()
+            print(f"deleted {path}")
+        print("in-memory caches cleared")
+        return 0
+
+    if path.exists():
+        loaded = load_caches(str(path))
+        size_kib = path.stat().st_size / 1024
+        print(f"persisted snapshot: {path} ({size_kib:.1f} KiB)")
+        for name, count in sorted(cache_sizes().items()):
+            print(f"  {name:10s} {count} entries ({loaded.get(name, 0)} loaded just now)")
+    else:
+        print(f"persisted snapshot: {path} (absent — run an experiment first)")
+
+    stats = cache_stats()
+    print("this process:", _format_cache_delta(
+        {name: {"hits": s.hits, "misses": s.misses} for name, s in stats.items()}
+    ))
+
+    recent = store.list_runs()[-5:]
+    if recent:
+        print("recent runs:")
+        for record in recent:
+            print(
+                f"  {record.run_id:40s} {record.status:11s} "
+                f"{_format_cache_delta(record.cache_stats)}"
+            )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro list
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name, description in experiment_descriptions().items():
+        print(f"  {name:26s} {description}")
+    store = _store(args)
+    records = store.list_runs()
+    print()
+    if records:
+        print(f"stored runs in {store.root}:")
+        for record in records:
+            print(
+                f"  {record.run_id:40s} {record.status:11s} "
+                f"{record.duration_seconds:8.1f}s  {record.fingerprint()}"
+            )
+    else:
+        print(f"no stored runs in {store.root}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(level=logging.INFO if args.verbose else logging.WARNING)
+    handlers = {"run": cmd_run, "report": cmd_report, "cache": cmd_cache, "list": cmd_list}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro.cli`
+    sys.exit(main())

@@ -10,6 +10,13 @@ model with the candidate operator substituted in, see
 The implementation is a standard UCT tree search with random rollouts that are
 *guided* by the shape-distance metric, mirroring the paper's combination of
 stochastic tree search and guided synthesis.
+
+Rewards are memoized twice: per instance (``_local_rewards``, which also
+deduplicates the recorded samples) and process-wide through
+:func:`repro.search.cache.cached_reward` under ``MCTSConfig.cache_context`` —
+searches sharing a context (same backbone, same evaluation settings) reuse
+each other's proxy-training results, including results reloaded from a
+persisted cache snapshot.
 """
 
 from __future__ import annotations

@@ -1,9 +1,12 @@
 """One module per table/figure of the paper's evaluation (Section 9).
 
 Every module exposes a ``run(...)`` function returning plain dataclasses /
-dictionaries; the pytest-benchmark harness under ``benchmarks/`` and the
-example scripts call these functions and print the same rows/series the paper
-reports.  See EXPERIMENTS.md for the paper-vs-measured record.
+dictionaries, plus a ``run_record(config)`` wrapper that routes the same run
+through the shared runner (:mod:`repro.experiments.runner`) and returns a
+persistable :class:`repro.results.ResultRecord`.  The pytest-benchmark
+harness under ``benchmarks/``, the ``repro`` CLI and the example scripts all
+invoke experiments through that runner, so results are produced identically
+everywhere.  See ``docs/experiments.md`` for the figure/table → command map.
 """
 
 from repro.experiments import (  # noqa: F401
@@ -16,6 +19,7 @@ from repro.experiments import (  # noqa: F401
     figure8,
     figure9,
     figure10,
+    runner,
     table3,
 )
 
@@ -26,6 +30,7 @@ __all__ = [
     "figure8",
     "figure9",
     "figure10",
+    "runner",
     "table3",
     "ablation_shape_distance",
     "ablation_materialization",

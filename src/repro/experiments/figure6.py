@@ -15,6 +15,7 @@ from typing import Sequence
 from repro.compiler.backends import TVMBackend
 from repro.compiler.targets import A100, HardwareTarget
 from repro.experiments.common import Candidate, syno_candidates
+from repro.experiments.runner import make_run_record
 from repro.nn.data import SyntheticImageDataset
 from repro.nn.models import MODEL_BUILDERS
 from repro.nn.models.common import default_conv_factory
@@ -120,6 +121,12 @@ def run(
             latency_ms = evaluator.substituted_latency(candidate.operator) * 1e3
             result.points.append(ParetoPoint(model, candidate.name, accuracy, latency_ms))
     return result
+
+
+#: Structured counterpart of :func:`run`: same execution through the shared
+#: runner, returning a :class:`repro.results.ResultRecord` (see
+#: :func:`repro.experiments.runner.make_run_record`).
+run_record = make_run_record("figure6")
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

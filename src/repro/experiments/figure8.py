@@ -17,6 +17,7 @@ from repro.baselines.stacked_conv import StackedConvolution, stacked_conv_progra
 from repro.compiler.backends import TVMBackend
 from repro.compiler.targets import MOBILE_CPU, HardwareTarget
 from repro.core.library import GROUPS, K1, SHRINK, build_operator1
+from repro.experiments.runner import make_run_record
 from repro.nn.data import SyntheticImageDataset
 from repro.nn.models.common import ConvSlot, default_conv_factory
 from repro.nn.models.profiles import RESNET18_PROFILE
@@ -126,6 +127,12 @@ def run(target: HardwareTarget = MOBILE_CPU, train_steps: int | None = None, see
     ).substituted_latency(operator1)
     result.points.append(CaseStudyPoint("operator1", op1_acc, op1_latency * 1e3))
     return result
+
+
+#: Structured counterpart of :func:`run`: same execution through the shared
+#: runner, returning a :class:`repro.results.ResultRecord` (see
+#: :func:`repro.experiments.runner.make_run_record`).
+run_record = make_run_record("figure8")
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -25,6 +25,7 @@ from repro.experiments.common import (
     nas_pte_candidates,
     syno_candidates,
 )
+from repro.experiments.runner import make_run_record
 from repro.nn.models.common import ConvSlot
 from repro.nn.models.profiles import RESNET34_FIGURE9_LAYERS
 from repro.search.extraction import binding_for_slot
@@ -138,6 +139,12 @@ def run(
                     comparison.candidate_params[candidate.name] = program.parameter_count
                 result.comparisons.append(comparison)
     return result
+
+
+#: Structured counterpart of :func:`run`: same execution through the shared
+#: runner, returning a :class:`repro.results.ResultRecord` (see
+#: :func:`repro.experiments.runner.make_run_record`).
+run_record = make_run_record("figure9")
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -1,0 +1,37 @@
+"""Persistent run manifests and result artifacts.
+
+Public API:
+
+* :class:`~repro.results.records.ResultRecord` — structured, JSON-round-trip
+  outcome of one experiment run.
+* :class:`~repro.results.store.ArtifactStore` — the on-disk store under
+  ``REPRO_RESULTS_DIR`` (default ``./results``) holding run records and the
+  persisted evaluation-cache snapshot.
+
+See ``docs/architecture.md`` for where this layer sits in the system.
+"""
+
+from repro.results.records import (
+    RECORD_SCHEMA_VERSION,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_INTERRUPTED,
+    ResultRecord,
+    sanitize_metric,
+    sanitize_metrics,
+)
+from repro.results.store import DEFAULT_RESULTS_DIR, RESULTS_DIR_ENV, ArtifactStore, default_results_dir
+
+__all__ = [
+    "ArtifactStore",
+    "DEFAULT_RESULTS_DIR",
+    "RECORD_SCHEMA_VERSION",
+    "RESULTS_DIR_ENV",
+    "ResultRecord",
+    "STATUS_COMPLETED",
+    "STATUS_FAILED",
+    "STATUS_INTERRUPTED",
+    "default_results_dir",
+    "sanitize_metric",
+    "sanitize_metrics",
+]

@@ -1,0 +1,138 @@
+"""Structured result records for experiment runs.
+
+A :class:`ResultRecord` is the durable, JSON-serializable outcome of running
+one paper experiment (a figure, table or ablation): the configuration it ran
+under, the metrics it produced, the rendered table, and the cache activity it
+caused.  Records are what the ``repro`` CLI stores, lists and reports on, and
+what the benchmark suite produces through the same runner API — the two entry
+points are thin wrappers over identical machinery, so a record written from
+pytest and one written from the CLI are directly comparable.
+
+Two records of the same experiment under the same configuration are expected
+to agree on their :meth:`ResultRecord.fingerprint`: the fingerprint covers the
+deterministic payload (experiment, configuration, metrics, table) and excludes
+incidental fields (run id, timestamps, durations, cache hit counts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+#: Schema version of the serialized record; bump on breaking layout changes.
+RECORD_SCHEMA_VERSION = 1
+
+#: Run lifecycle states a record can report.
+STATUS_COMPLETED = "completed"
+STATUS_INTERRUPTED = "interrupted"
+STATUS_FAILED = "failed"
+
+
+def sanitize_metric(value: Any) -> float | int | None:
+    """Coerce one metric to a JSON-safe number (non-finite floats become None)."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return None
+    return number if math.isfinite(number) else None
+
+
+def sanitize_metrics(metrics: Mapping[str, Any]) -> dict[str, float | int | None]:
+    """JSON-safe copy of a metrics mapping (see :func:`sanitize_metric`)."""
+    return {str(name): sanitize_metric(value) for name, value in metrics.items()}
+
+
+@dataclass
+class ResultRecord:
+    """One experiment run, ready for the artifact store.
+
+    Attributes
+    ----------
+    run_id:
+        Unique id of the run (``<experiment>-<timestamp>-<suffix>``); doubles
+        as the directory name inside the artifact store.
+    experiment:
+        Registry name of the experiment (``figure5``, ``table3``, ...).
+    status:
+        ``completed``, ``interrupted`` (KeyboardInterrupt mid-run) or
+        ``failed`` (the experiment raised).
+    config:
+        The :class:`repro.experiments.runner.ExperimentConfig` as a plain dict.
+    metrics:
+        Flat name → number mapping of the experiment's headline quantities.
+    table:
+        The experiment's rendered ``to_table()`` output (empty for failed runs).
+    cache_stats:
+        Per-cache ``{"hits": .., "misses": ..}`` *deltas* accumulated during
+        this run — a second run over a warm cache shows up here as hits
+        without misses.
+    environment:
+        The ``REPRO_*`` knob values in effect while the experiment ran.
+    error:
+        Exception summary for interrupted/failed runs, else empty.
+    """
+
+    run_id: str
+    experiment: str
+    status: str
+    config: dict = field(default_factory=dict)
+    started_at: str = ""
+    finished_at: str = ""
+    duration_seconds: float = 0.0
+    metrics: dict = field(default_factory=dict)
+    table: str = ""
+    cache_stats: dict = field(default_factory=dict)
+    environment: dict = field(default_factory=dict)
+    error: str = ""
+    schema_version: int = RECORD_SCHEMA_VERSION
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-ready); includes the derived fingerprint."""
+        payload = asdict(self)
+        payload["fingerprint"] = self.fingerprint()
+        return payload
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ResultRecord":
+        data = dict(payload)
+        data.pop("fingerprint", None)  # derived, never trusted from disk
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultRecord":
+        return cls.from_dict(json.loads(text))
+
+    # -- identity -----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Digest of the deterministic payload of this run.
+
+        Covers (experiment, config, metrics, table) — two runs of the same
+        experiment under the same configuration must agree on it regardless
+        of when they ran or how warm the caches were.
+        """
+        payload = json.dumps(
+            {
+                "experiment": self.experiment,
+                "config": self.config,
+                "metrics": sanitize_metrics(self.metrics),
+                "table": self.table,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,110 @@
+"""The on-disk artifact store for experiment runs.
+
+Layout (rooted at ``REPRO_RESULTS_DIR``, default ``./results``)::
+
+    <root>/
+      runs/
+        <run_id>/
+          record.json     # the serialized ResultRecord (with fingerprint)
+          table.txt       # the experiment's rendered table, for quick reading
+      cache/
+        evaluation-cache-v<N>.pkl   # persisted reward/compile/baseline caches
+
+Everything in the store is plain files: records are JSON, tables are text,
+and the cache snapshot is a versioned pickle written by
+:func:`repro.search.cache.save_caches`.  The store never deletes or rewrites
+a run directory — each run gets a fresh id — so it doubles as an append-only
+experiment log that ``repro report`` renders into summary tables.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.results.records import ResultRecord
+from repro.search.cache import cache_snapshot_filename
+
+log = logging.getLogger(__name__)
+
+#: Environment knob naming the store root; relative paths are allowed.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+DEFAULT_RESULTS_DIR = "results"
+
+
+def default_results_dir() -> Path:
+    """The store root from ``REPRO_RESULTS_DIR`` (default ``./results``)."""
+    return Path(os.environ.get(RESULTS_DIR_ENV) or DEFAULT_RESULTS_DIR)
+
+
+class ArtifactStore:
+    """Persistent store of :class:`ResultRecord` artifacts and cache snapshots."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = Path(root) if root is not None else default_results_dir()
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / "cache"
+
+    @property
+    def cache_path(self) -> Path:
+        """Where the persisted evaluation-cache snapshot lives for this store."""
+        return self.cache_dir / cache_snapshot_filename()
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.runs_dir / run_id
+
+    def record_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "record.json"
+
+    # -- writing ------------------------------------------------------------
+
+    def save(self, record: ResultRecord) -> Path:
+        """Write ``record.json`` and ``table.txt`` for the run; returns the dir."""
+        directory = self.run_dir(record.run_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self.record_path(record.run_id)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(record.to_json() + "\n", encoding="utf-8")
+        os.replace(tmp, path)
+        if record.table:
+            (directory / "table.txt").write_text(record.table + "\n", encoding="utf-8")
+        return directory
+
+    # -- reading ------------------------------------------------------------
+
+    def load(self, run_id: str) -> ResultRecord:
+        return ResultRecord.from_json(self.record_path(run_id).read_text(encoding="utf-8"))
+
+    def list_runs(self, experiment: str | None = None) -> list[ResultRecord]:
+        """Stored records, oldest first; optionally filtered by experiment name.
+
+        Unreadable record files are skipped with a warning rather than
+        poisoning every report.
+        """
+        records: list[ResultRecord] = []
+        if not self.runs_dir.is_dir():
+            return records
+        for path in sorted(self.runs_dir.glob("*/record.json")):
+            try:
+                record = ResultRecord.from_json(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError, TypeError) as exc:
+                log.warning("skipping unreadable record %s: %s", path, exc)
+                continue
+            if experiment is None or record.experiment == experiment:
+                records.append(record)
+        records.sort(key=lambda record: (record.started_at, record.run_id))
+        return records
+
+    def latest(self, experiment: str | None = None) -> ResultRecord | None:
+        records = self.list_runs(experiment)
+        return records[-1] if records else None

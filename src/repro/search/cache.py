@@ -27,6 +27,13 @@ them:
     baseline (unsubstituted) accuracies and latencies keyed by the evaluation
     context, so sessions and experiments compute each baseline exactly once.
 
+The caches are also **persistent**: :func:`save_caches` snapshots them to a
+versioned pickle file and :func:`load_caches` merges such a snapshot back into
+the running process, so repeated invocations of the same experiment (e.g. two
+``repro run figure5 --smoke`` commands in fresh processes) reuse each other's
+training and tuning work.  The experiment runner CLI wires this up around
+every run; see :mod:`repro.cli` and :mod:`repro.results`.
+
 The module also hosts the run-budget knobs that the caches interact with:
 
 * ``REPRO_TRAIN_STEPS`` — proxy-training step budget (read by
@@ -37,6 +44,13 @@ The module also hosts the run-budget knobs that the caches interact with:
   default; export ``REPRO_SMOKE=0`` for full-fidelity runs.
 * ``REPRO_EVAL_PROCESSES`` — opt-in process count for
   :func:`parallel_map`, used by candidate evaluation fan-out.
+* ``REPRO_EVAL_CACHE`` — ``0`` disables the in-process caches (A/B timing
+  and stale-cache debugging; results are identical either way).
+* ``REPRO_RESULTS_DIR`` — root of the on-disk artifact store (default
+  ``./results``); the persisted cache snapshot lives under it at
+  ``cache/evaluation-cache-v<N>.pkl``.  The directory itself is owned by
+  :class:`repro.results.ArtifactStore`; this module only reads and writes
+  the snapshot paths it is handed.
 
 Everything here is stdlib-only and import-light so the compiler, the search
 core and the experiment harness can all depend on it without cycles.
@@ -50,7 +64,7 @@ import os
 import pickle
 import threading
 from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+from typing import Callable, Hashable, Iterable, Mapping, Sequence, TypeVar
 
 log = logging.getLogger(__name__)
 
@@ -187,6 +201,25 @@ class KeyedCache:
             self._data.clear()
             self.stats = CacheStats()
 
+    def export_entries(self) -> dict[Hashable, object]:
+        """A shallow copy of the cached entries (for persistence snapshots)."""
+        with self._lock:
+            return dict(self._data)
+
+    def merge_entries(self, entries: Mapping[Hashable, object]) -> int:
+        """Insert entries that are not already cached; returns how many were added.
+
+        In-process values win over persisted ones: an entry computed in this
+        process is at least as fresh as anything on disk.
+        """
+        added = 0
+        with self._lock:
+            for key, value in entries.items():
+                if key not in self._data:
+                    self._data[key] = value
+                    added += 1
+        return added
+
 
 _REWARD_CACHE = KeyedCache("reward")
 _COMPILE_CACHE = KeyedCache("compile")
@@ -235,6 +268,109 @@ def cached_reward(context: Hashable, signature: str, compute: Callable[[], float
 def cached_baseline(context: Hashable, compute: Callable[[], float]) -> float:
     """A baseline (unsubstituted) metric under one context, computed once."""
     return _BASELINE_CACHE.get_or_compute(context, compute)
+
+
+# ---------------------------------------------------------------------------
+# Disk persistence
+# ---------------------------------------------------------------------------
+
+#: Version of the on-disk snapshot format *and* of the cache key schemas.
+#: Bump whenever a key or value type changes shape (e.g. a new field in
+#: ``TuneResult`` or an extra component in an evaluation context): loading
+#: ignores snapshots written under any other version, so stale entries can
+#: never alias fresh ones.
+CACHE_FORMAT_VERSION = 1
+
+_ALL_CACHES = (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE)
+
+
+def cache_snapshot_filename() -> str:
+    """Basename of the persisted snapshot (the key version is part of the name)."""
+    return f"evaluation-cache-v{CACHE_FORMAT_VERSION}.pkl"
+
+
+def save_caches(path: str) -> dict[str, int]:
+    """Persist every process-wide cache to ``path``; returns entries per cache.
+
+    The snapshot is written atomically (temp file + rename) so an interrupted
+    run never leaves a truncated file behind.  Persistence is best-effort and
+    never fails an experiment: entries whose key or value cannot be pickled
+    are skipped with a warning, and an unwritable destination logs instead of
+    raising.  With the caches disabled (``REPRO_EVAL_CACHE=0``) nothing is
+    written — the in-memory caches are empty then, and overwriting would
+    destroy a previous run's warm snapshot.
+    """
+    if not caches_enabled():
+        return {}
+    caches: dict[str, dict] = {
+        cache.name: cache.export_entries() for cache in _ALL_CACHES
+    }
+    payload = {"version": CACHE_FORMAT_VERSION, "caches": caches}
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        # A poison entry somewhere: fall back to filtering entry by entry.
+        for cache_name, entries in caches.items():
+            picklable = {}
+            for key, value in entries.items():
+                try:
+                    pickle.dumps((key, value))
+                except Exception as exc:
+                    log.warning("not persisting %s-cache entry %r: %s", cache_name, key, exc)
+                else:
+                    picklable[key] = value
+            caches[cache_name] = picklable
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    try:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        with open(tmp_path, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        log.warning("could not persist cache snapshot to %s: %s", path, exc)
+        return {}
+    return {name: len(entries) for name, entries in caches.items()}
+
+
+def load_caches(path: str) -> dict[str, int]:
+    """Merge a persisted snapshot into the process-wide caches.
+
+    Returns the number of entries *added* per cache (already-present keys are
+    kept, so freshly computed values always win).  A missing, corrupt or
+    version-mismatched snapshot loads nothing — callers never need to guard.
+    """
+    if not caches_enabled():
+        return {}
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except FileNotFoundError:
+        return {}
+    except Exception as exc:
+        log.warning("ignoring unreadable cache snapshot %s: %s", path, exc)
+        return {}
+    if not isinstance(payload, dict) or payload.get("version") != CACHE_FORMAT_VERSION:
+        log.warning(
+            "ignoring cache snapshot %s: format version %r != %d",
+            path,
+            payload.get("version") if isinstance(payload, dict) else None,
+            CACHE_FORMAT_VERSION,
+        )
+        return {}
+    added: dict[str, int] = {}
+    by_name = {cache.name: cache for cache in _ALL_CACHES}
+    for name, entries in payload.get("caches", {}).items():
+        cache = by_name.get(name)
+        if cache is not None and isinstance(entries, dict):
+            added[name] = cache.merge_entries(entries)
+    return added
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry count of every process-wide cache, keyed by cache name."""
+    return {cache.name: len(cache) for cache in _ALL_CACHES}
 
 
 # ---------------------------------------------------------------------------

@@ -9,6 +9,16 @@ A :class:`SearchSession` ties everything together for one backbone model:
    uses 1%) and evaluate their end-to-end latency on every requested
    (compiler, target) pair;
 4. report the Pareto-relevant candidates sorted by latency.
+
+Evaluation work is shared through the process-wide caches in
+:mod:`repro.search.cache`: rewards are keyed by the accuracy evaluator's
+context (passed to MCTS as ``cache_context``), compilations by the program's
+structural key, and one latency evaluator is hoisted per (backend, target)
+pair so each baseline compiles exactly once per session.  Candidate latency
+evaluation optionally fans out over worker processes
+(``REPRO_EVAL_PROCESSES``); the experiment runner and CLI
+(:mod:`repro.experiments.runner`, :mod:`repro.cli`) persist those caches
+across processes.
 """
 
 from __future__ import annotations

@@ -1,0 +1,255 @@
+"""Tests for the ``repro`` CLI and the shared experiment runner."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cli.main import build_parser, config_from_args, main
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import ExperimentConfig, ExperimentSpec, run_experiment
+from repro.results import ArtifactStore
+from repro.search.cache import cached_reward, clear_caches
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# Flag -> config mapping
+# ---------------------------------------------------------------------------
+
+
+def test_run_args_map_onto_experiment_config():
+    args = build_parser().parse_args(
+        [
+            "run", "figure6",
+            "--smoke",
+            "--train-steps", "5",
+            "--processes", "2",
+            "--seed", "3",
+            "--option", "models=['resnet18']",
+            "--option", "label=quick",
+        ]
+    )
+    config = config_from_args(args)
+    assert config == ExperimentConfig(
+        smoke=True,
+        train_steps=5,
+        processes=2,
+        seed=3,
+        options={"models": ["resnet18"], "label": "quick"},
+    )
+    assert config.env_overrides() == {
+        "REPRO_SMOKE": "1",
+        "REPRO_TRAIN_STEPS": "5",
+        "REPRO_EVAL_PROCESSES": "2",
+    }
+
+
+def test_full_flag_and_defaults():
+    args = build_parser().parse_args(["run", "figure5", "--full"])
+    config = config_from_args(args)
+    assert config.smoke is False and config.env_overrides() == {"REPRO_SMOKE": "0"}
+
+    bare = config_from_args(build_parser().parse_args(["run", "figure5"]))
+    assert bare == ExperimentConfig()
+    assert bare.env_overrides() == {}
+
+
+def test_unknown_experiment_is_rejected_at_parse_time(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "figure7"])
+    assert "figure7" in capsys.readouterr().err
+
+
+def test_malformed_option_is_a_usage_error_not_a_traceback(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "figure5", "--option", "noequals"])
+    assert "KEY=VALUE" in capsys.readouterr().err
+
+
+def test_config_round_trips_through_dict():
+    config = ExperimentConfig(smoke=False, train_steps=7, seed=1, options={"trials": 10})
+    assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+
+def test_inapplicable_kwargs_are_warned_and_excluded_from_the_record(caplog):
+    # ablation-materialization's run() takes no seed and no options at all.
+    config = ExperimentConfig(seed=7, options={"mistyped": True})
+    with caplog.at_level("WARNING"):
+        outcome = run_experiment("ablation-materialization", config)
+    assert "mistyped" in caplog.text and "seed" in caplog.text
+    assert outcome.record.config["seed"] is None
+    assert outcome.record.config["options"] == {}
+    # Identical effective runs agree on their fingerprint despite the noise.
+    baseline = run_experiment("ablation-materialization")
+    assert outcome.record.fingerprint() == baseline.record.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# End-to-end through main() with a cheap experiment
+# ---------------------------------------------------------------------------
+
+
+def test_cli_run_writes_record_and_snapshot(tmp_path, capsys):
+    argv = ["run", "ablation-materialization", "--results-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert main(argv) == 0  # second run over the same store
+
+    store = ArtifactStore(tmp_path)
+    records = store.list_runs()
+    assert [record.status for record in records] == ["completed", "completed"]
+    assert records[0].fingerprint() == records[1].fingerprint()
+    assert store.cache_path.exists()
+
+    payload = json.loads(store.record_path(records[0].run_id).read_text())
+    assert payload["experiment"] == "ablation-materialization"
+    assert payload["fingerprint"] == records[0].fingerprint()
+
+    out = capsys.readouterr().out
+    assert "operator1" in out and "record stored in" in out
+
+
+def test_cli_report_and_list_render_stored_runs(tmp_path, capsys):
+    assert main(["run", "ablation-materialization", "--results-dir", str(tmp_path)]) == 0
+    run_id = ArtifactStore(tmp_path).list_runs()[0].run_id
+    capsys.readouterr()
+
+    assert main(["report", "--results-dir", str(tmp_path)]) == 0
+    report = capsys.readouterr().out
+    assert run_id in report and "## ablation-materialization" in report
+
+    csv_file = tmp_path / "runs.csv"
+    assert main(
+        ["report", "--results-dir", str(tmp_path), "--format", "csv", "--output", str(csv_file)]
+    ) == 0
+    assert "operator1_gain" in csv_file.read_text()
+
+    assert main(["list"]) == 0
+    assert "ablation-materialization" in capsys.readouterr().out
+
+
+def test_cli_report_fails_without_runs(tmp_path, capsys):
+    assert main(["report", "--results-dir", str(tmp_path / "empty")]) == 1
+    assert "No stored runs" in capsys.readouterr().out
+
+
+def test_cli_cache_shows_snapshot_stats(tmp_path, capsys):
+    assert main(["run", "ablation-materialization", "--results-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "persisted snapshot" in out and "recent runs" in out
+
+    assert main(["cache", "--results-dir", str(tmp_path), "--clear"]) == 0
+    assert not ArtifactStore(tmp_path).cache_path.exists()
+
+
+# ---------------------------------------------------------------------------
+# Resume: interrupted runs skip completed work items on the rerun
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fake_experiment(monkeypatch):
+    """Register a two-item experiment whose first run dies after item 'a'."""
+    work_log: list[str] = []
+
+    def fake_run(interrupt_after=None):
+        values = []
+        for item in ("a", "b"):
+            values.append(
+                cached_reward(("resume-test",), item, lambda item=item: work_log.append(item) or 1.0)
+            )
+            if item == interrupt_after:
+                raise KeyboardInterrupt
+        return SimpleNamespace(to_table=lambda: f"items={len(values)}")
+
+    spec = ExperimentSpec("fake", fake_run, lambda result: {"done": 1}, "resume test stub")
+    real_registry = runner_module._registry
+    monkeypatch.setattr(
+        runner_module, "_registry", lambda: {**real_registry(), "fake": spec}
+    )
+    return work_log
+
+
+def test_interrupted_run_records_status_and_rerun_skips_finished_work(
+    tmp_path, fake_experiment
+):
+    from repro.search.cache import load_caches, save_caches
+
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(KeyboardInterrupt):
+        run_experiment("fake", ExperimentConfig(options={"interrupt_after": "a"}), store=store)
+    save_caches(str(store.cache_path))  # what `repro run` does on Ctrl-C
+
+    interrupted = store.list_runs()[0]
+    assert interrupted.status == "interrupted"
+    assert interrupted.error.startswith("KeyboardInterrupt")
+    assert fake_experiment == ["a"]
+
+    clear_caches()  # fresh process
+    load_caches(str(store.cache_path))
+    outcome = run_experiment("fake", ExperimentConfig(), store=store)
+    assert outcome.record.status == "completed"
+    # Item 'a' was reloaded from the snapshot, only 'b' was computed.
+    assert fake_experiment == ["a", "b"]
+    assert outcome.record.cache_stats["reward"] == {"hits": 1, "misses": 1}
+    statuses = [record.status for record in store.list_runs()]
+    assert statuses == ["interrupted", "completed"]
+
+
+def test_failed_run_still_produces_a_record(tmp_path, monkeypatch):
+    def broken_run():
+        raise ValueError("boom")
+
+    spec = ExperimentSpec("broken", broken_run, lambda result: {}, "failure stub")
+    real_registry = runner_module._registry
+    monkeypatch.setattr(
+        runner_module, "_registry", lambda: {**real_registry(), "broken": spec}
+    )
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(ValueError):
+        run_experiment("broken", store=store)
+    record = store.list_runs()[0]
+    assert record.status == "failed" and "boom" in record.error
+
+
+# ---------------------------------------------------------------------------
+# Cross-process CLI flow (the acceptance scenario, on a cheap experiment)
+# ---------------------------------------------------------------------------
+
+
+def test_cli_two_fresh_processes_share_the_persisted_caches(tmp_path):
+    """Second `repro run` in a new process hits the snapshot and matches records."""
+    command = [
+        sys.executable, "-m", "repro.cli",
+        "run", "figure10", "--smoke", "--train-steps", "2",
+        "--results-dir", str(tmp_path),
+    ]
+    import os
+
+    env = {**os.environ, "PYTHONPATH": "src"}
+    for _ in range(2):
+        subprocess.run(
+            command, cwd=REPO_ROOT, env=env, check=True, capture_output=True, text=True
+        )
+
+    records = ArtifactStore(tmp_path).list_runs()
+    assert [record.status for record in records] == ["completed", "completed"]
+    assert records[0].fingerprint() == records[1].fingerprint()
+    first, second = (record.cache_stats.get("compile", {}) for record in records)
+    assert first.get("misses", 0) > 0
+    assert second.get("misses", 0) == 0 and second.get("hits", 0) > 0

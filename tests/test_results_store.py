@@ -1,0 +1,237 @@
+"""Tests for the results subsystem: records, the artifact store, cache persistence."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.results import ArtifactStore, ResultRecord, sanitize_metrics
+from repro.search.cache import (
+    CACHE_FORMAT_VERSION,
+    cache_snapshot_filename,
+    cache_stats,
+    cached_reward,
+    clear_caches,
+    load_caches,
+    reward_cache,
+    save_caches,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def make_record(run_id="figure5-20260101-000000-abc123", **overrides) -> ResultRecord:
+    payload = dict(
+        run_id=run_id,
+        experiment="figure5",
+        status="completed",
+        config={"smoke": True, "train_steps": None, "processes": None, "seed": None, "options": {}},
+        started_at="2026-01-01T00:00:00+00:00",
+        finished_at="2026-01-01T00:00:20+00:00",
+        duration_seconds=20.0,
+        metrics={"geomean_speedup_tvm_a100": 2.5, "rows": 18},
+        table="model target backend speedup\nresnet18 a100 tvm 2.50x",
+        cache_stats={"compile": {"hits": 10, "misses": 2}},
+        environment={"REPRO_SMOKE": "1"},
+    )
+    payload.update(overrides)
+    return ResultRecord(**payload)
+
+
+# ---------------------------------------------------------------------------
+# ResultRecord
+# ---------------------------------------------------------------------------
+
+
+def test_record_json_round_trip():
+    record = make_record()
+    restored = ResultRecord.from_json(record.to_json())
+    assert restored == record
+    assert restored.fingerprint() == record.fingerprint()
+
+
+def test_record_fingerprint_covers_payload_not_incidentals():
+    record = make_record()
+    # Incidental fields do not change identity...
+    twin = make_record(
+        run_id="figure5-20270101-999999-zzzzzz",
+        started_at="2027-01-01T00:00:00+00:00",
+        duration_seconds=0.5,
+        cache_stats={"compile": {"hits": 0, "misses": 12}},
+    )
+    assert twin.fingerprint() == record.fingerprint()
+    # ...but the deterministic payload does.
+    assert make_record(metrics={"rows": 17}).fingerprint() != record.fingerprint()
+    assert make_record(config={"smoke": False}).fingerprint() != record.fingerprint()
+
+
+def test_sanitize_metrics_handles_non_finite_and_non_numeric():
+    cleaned = sanitize_metrics(
+        {"ok": 1.5, "count": 3, "inf": float("inf"), "nan": float("nan"), "text": "n/a"}
+    )
+    assert cleaned == {"ok": 1.5, "count": 3, "inf": None, "nan": None, "text": None}
+
+
+# ---------------------------------------------------------------------------
+# ArtifactStore
+# ---------------------------------------------------------------------------
+
+
+def test_store_save_load_list_latest(tmp_path):
+    store = ArtifactStore(tmp_path)
+    first = make_record("figure5-20260101-000000-aaaaaa")
+    second = make_record(
+        "table3-20260101-000100-bbbbbb",
+        experiment="table3",
+        started_at="2026-01-01T00:01:00+00:00",
+    )
+    store.save(first)
+    store.save(second)
+
+    assert store.load(first.run_id) == first
+    assert (store.run_dir(first.run_id) / "table.txt").read_text().startswith("model target")
+    assert [record.run_id for record in store.list_runs()] == [first.run_id, second.run_id]
+    assert [record.run_id for record in store.list_runs("table3")] == [second.run_id]
+    assert store.latest().run_id == second.run_id
+    assert store.latest("figure5").run_id == first.run_id
+
+
+def test_store_root_defaults_to_results_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "elsewhere"))
+    store = ArtifactStore()
+    assert store.root == tmp_path / "elsewhere"
+    assert store.cache_path.name == cache_snapshot_filename()
+
+
+def test_store_skips_unreadable_records(tmp_path):
+    store = ArtifactStore(tmp_path)
+    store.save(make_record())
+    bad = store.runs_dir / "broken-run"
+    bad.mkdir(parents=True)
+    (bad / "record.json").write_text("{not json")
+    assert len(store.list_runs()) == 1
+
+
+# ---------------------------------------------------------------------------
+# Cache persistence
+# ---------------------------------------------------------------------------
+
+
+def test_cache_persist_and_reload_in_process(tmp_path):
+    path = tmp_path / cache_snapshot_filename()
+    calls = []
+    cached_reward(("persist-test",), "sig", lambda: calls.append(1) or 0.75)
+    saved = save_caches(str(path))
+    assert saved["reward"] == 1
+
+    clear_caches()  # simulate a fresh process
+    added = load_caches(str(path))
+    assert added["reward"] == 1
+    value = cached_reward(("persist-test",), "sig", lambda: calls.append(1) or 0.0)
+    assert value == 0.75 and calls == [1]
+    assert cache_stats()["reward"].hits == 1
+
+
+def test_load_ignores_missing_and_version_mismatched_snapshots(tmp_path):
+    assert load_caches(str(tmp_path / "absent.pkl")) == {}
+
+    stale = tmp_path / "stale.pkl"
+    payload = {"version": CACHE_FORMAT_VERSION + 1, "caches": {"reward": {("k",): 1.0}}}
+    stale.write_bytes(pickle.dumps(payload))
+    assert load_caches(str(stale)) == {}
+    assert len(reward_cache()) == 0
+
+    corrupt = tmp_path / "corrupt.pkl"
+    corrupt.write_bytes(b"not a pickle")
+    assert load_caches(str(corrupt)) == {}
+
+
+def test_save_skips_unpicklable_entries(tmp_path):
+    path = tmp_path / "snapshot.pkl"
+    reward_cache().put(("fine",), 1.0)
+    reward_cache().put(("poison",), lambda: None)  # lambdas cannot be pickled
+    saved = save_caches(str(path))
+    assert saved["reward"] == 1
+
+    clear_caches()
+    assert load_caches(str(path)) == {"reward": 1, "compile": 0, "baseline": 0}
+    found, value = reward_cache().lookup(("fine",))
+    assert found and value == 1.0
+
+
+def test_in_process_values_win_over_persisted_ones(tmp_path):
+    path = tmp_path / "snapshot.pkl"
+    reward_cache().put(("shared",), 1.0)
+    save_caches(str(path))
+    clear_caches()
+    reward_cache().put(("shared",), 2.0)
+    assert load_caches(str(path))["reward"] == 0
+    assert reward_cache().lookup(("shared",)) == (True, 2.0)
+
+
+def test_disabled_caches_do_not_clobber_a_warm_snapshot(tmp_path, monkeypatch):
+    path = tmp_path / "snapshot.pkl"
+    reward_cache().put(("warm",), 1.0)
+    assert save_caches(str(path))["reward"] == 1
+
+    monkeypatch.setenv("REPRO_EVAL_CACHE", "0")
+    clear_caches()
+    assert save_caches(str(path)) == {}  # must not overwrite the warm file
+    assert load_caches(str(path)) == {}  # loading is a no-op while disabled
+
+    monkeypatch.delenv("REPRO_EVAL_CACHE")
+    assert load_caches(str(path))["reward"] == 1
+
+
+def test_save_survives_unwritable_destination(tmp_path):
+    reward_cache().put(("k",), 1.0)
+    target = tmp_path / "file-not-dir" / "snapshot.pkl"
+    (tmp_path / "file-not-dir").write_text("")  # makedirs will fail on this
+    assert save_caches(str(target)) == {}  # logged, not raised
+
+
+def test_cache_persist_across_two_processes(tmp_path):
+    """Process A computes and saves; process B loads and must not recompute."""
+    path = tmp_path / cache_snapshot_filename()
+    producer = textwrap.dedent(
+        f"""
+        from repro.search.cache import cached_reward, save_caches
+        cached_reward(("two-proc",), "sig", lambda: 41.5)
+        counts = save_caches({str(path)!r})
+        assert counts["reward"] == 1, counts
+        """
+    )
+    consumer = textwrap.dedent(
+        f"""
+        from repro.search.cache import cache_stats, cached_reward, load_caches
+        added = load_caches({str(path)!r})
+        assert added["reward"] == 1, added
+        def recompute():
+            raise AssertionError("work item was recomputed despite the snapshot")
+        value = cached_reward(("two-proc",), "sig", recompute)
+        assert value == 41.5, value
+        assert cache_stats()["reward"].hits == 1
+        """
+    )
+    for script in (producer, consumer):
+        subprocess.run(
+            [sys.executable, "-c", script],
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": "src"},
+            check=True,
+            capture_output=True,
+            text=True,
+        )
