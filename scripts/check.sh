@@ -27,3 +27,23 @@ ls "$RESULTS_DIR"/runs/*/record.json > /dev/null || {
   exit 1
 }
 echo "OK: result artifacts present"
+
+echo "== timing sanity: smoke benches must not regress =="
+# figure5 is compiler-tuning-bound: guard its absolute smoke wall-clock.
+# (The threshold is generous — about 5x the current ~18 s — so only a real
+# regression trips it, not machine noise.)
+python -m repro.cli bench figure5 --smoke --no-compare --max-seconds 90
+# figure8 is proxy-training-bound: it must stay fast in absolute terms AND
+# keep the compiled-plan + float32 path >= 1.5x over the eager float64
+# interpreter at identical budgets (the escape-hatch comparison would
+# silently erode otherwise).
+python -m repro.cli bench figure8 --smoke --max-seconds 60
+python - "$RESULTS_DIR/BENCH_figure8.json" <<'PY'
+import json, sys
+entry = json.load(open(sys.argv[1]))["entries"][-1]
+speedup = entry["speedup_vs_eager_float64"]
+assert speedup is not None and speedup >= 1.5, (
+    f"compiled-plan speedup regressed: {speedup}x < 1.5x"
+)
+print(f"OK: compiled-plan speedup {speedup}x (>= 1.5x)")
+PY

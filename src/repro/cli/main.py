@@ -18,12 +18,16 @@ import argparse
 import ast
 import csv
 import io
+import json
 import logging
 import sys
+import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.experiments.runner import (
     ExperimentConfig,
+    applied_env,
     experiment_descriptions,
     experiment_names,
     run_experiment,
@@ -33,6 +37,7 @@ from repro.search.cache import (
     cache_sizes,
     cache_stats,
     clear_caches,
+    compute_dtype_name,
     load_caches,
     save_caches,
 )
@@ -81,6 +86,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache-persist",
         action="store_true",
         help="do not load/save the evaluation-cache snapshot around this run",
+    )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="time one experiment (compiled vs eager-float64) and record the trajectory",
+    )
+    bench.add_argument("experiment", choices=experiment_names(), help="which figure/table to time")
+    bench_fidelity = bench.add_mutually_exclusive_group()
+    bench_fidelity.add_argument(
+        "--smoke", action="store_true", help="shrunken workloads (REPRO_SMOKE=1)"
+    )
+    bench_fidelity.add_argument(
+        "--full", action="store_true", help="full-fidelity workloads (REPRO_SMOKE=0)"
+    )
+    bench.add_argument("--train-steps", type=int, help="proxy-training step budget")
+    bench.add_argument("--processes", type=int, help="worker processes for candidate evaluation")
+    bench.add_argument("--seed", type=int, help="random seed for experiments that take one")
+    bench.add_argument(
+        "--repeats", type=int, default=1, help="timed repetitions per leg (caches cleared between)"
+    )
+    bench.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the REPRO_COMPILED_FORWARD=0 REPRO_DTYPE=float64 reference leg",
+    )
+    bench.add_argument(
+        "--max-seconds",
+        type=float,
+        help="exit non-zero if the mean compiled wall-clock exceeds this (CI regression guard)",
+    )
+    bench.add_argument("--results-dir", help="artifact store root (BENCH_<experiment>.json lives there)")
+    bench.add_argument(
+        "--output", help="write the bench record here instead of <results-dir>/BENCH_<experiment>.json"
     )
 
     report = subparsers.add_parser("report", help="summarize stored runs")
@@ -212,6 +250,111 @@ def _format_cache_delta(cache_deltas: dict) -> str:
         delta = cache_deltas[name]
         parts.append(f"{name} {delta.get('hits', 0)} hits / {delta.get('misses', 0)} misses")
     return "; ".join(parts) if parts else "none"
+
+
+# ---------------------------------------------------------------------------
+# repro bench
+# ---------------------------------------------------------------------------
+
+
+def _bench_leg(experiment: str, config: ExperimentConfig, repeats: int, overrides: dict) -> dict:
+    """Time ``repeats`` cold runs of one experiment under extra env overrides.
+
+    Every repeat starts from cleared in-memory caches and nothing is loaded
+    from or saved to the persisted snapshot, so the wall-clock numbers measure
+    real training/tuning work rather than cache state.
+    """
+    times: list[float] = []
+    cache_activity: list[dict] = []
+    with applied_env(overrides):
+        for _ in range(repeats):
+            clear_caches()
+            start = time.perf_counter()
+            outcome = run_experiment(experiment, config, store=None)
+            times.append(round(time.perf_counter() - start, 3))
+            cache_activity.append(outcome.record.cache_stats)
+    clear_caches()
+    return {
+        "times_seconds": times,
+        "mean_seconds": round(sum(times) / len(times), 3),
+        "min_seconds": min(times),
+        "cache_activity": cache_activity,
+    }
+
+
+def _append_bench_record(path: Path, entry: dict) -> None:
+    """Append one entry to the machine-readable perf trajectory file."""
+    history: list = []
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(payload, dict) and isinstance(payload.get("entries"), list):
+                history = payload["entries"]
+        except (OSError, ValueError) as exc:
+            log.warning("starting a fresh bench record (unreadable %s: %s)", path, exc)
+    history.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps({"experiment": entry["experiment"], "entries": history}, indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    store = _store(args)
+    config = config_from_args(args)
+    repeats = max(args.repeats, 1)
+
+    with applied_env(config.env_overrides()):
+        dtype = compute_dtype_name()
+    print(f"benchmarking {args.experiment} (repeats={repeats}, compiled dtype={dtype}) ...")
+    compiled = _bench_leg(args.experiment, config, repeats, {})
+    print(
+        f"  compiled:  mean {compiled['mean_seconds']:.2f}s  "
+        f"min {compiled['min_seconds']:.2f}s  over {compiled['times_seconds']}"
+    )
+
+    reference = None
+    speedup = None
+    if not args.no_compare:
+        reference = _bench_leg(
+            args.experiment,
+            config,
+            repeats,
+            {"REPRO_COMPILED_FORWARD": "0", "REPRO_DTYPE": "float64"},
+        )
+        speedup = round(
+            reference["mean_seconds"] / max(compiled["mean_seconds"], 1e-9), 3
+        )
+        print(
+            f"  reference: mean {reference['mean_seconds']:.2f}s  "
+            f"min {reference['min_seconds']:.2f}s  (eager interpreter, float64)"
+        )
+        print(f"  speedup:   {speedup:.2f}x (compiled {dtype} vs eager float64)")
+    print("  cache activity (first compiled run):", _format_cache_delta(compiled["cache_activity"][0]))
+
+    entry = {
+        "experiment": args.experiment,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": config.to_dict(),
+        "repeats": repeats,
+        "compiled_dtype": dtype,
+        "compiled": compiled,
+        "reference": reference,
+        "speedup_vs_eager_float64": speedup,
+    }
+    output = Path(args.output) if args.output else store.root / f"BENCH_{args.experiment}.json"
+    _append_bench_record(output, entry)
+    print(f"bench record appended to {output}")
+
+    if args.max_seconds is not None and compiled["mean_seconds"] > args.max_seconds:
+        print(
+            f"FAIL: compiled mean {compiled['mean_seconds']:.2f}s exceeds the "
+            f"--max-seconds threshold of {args.max_seconds:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -361,7 +504,13 @@ def cmd_list(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     logging.basicConfig(level=logging.INFO if args.verbose else logging.WARNING)
-    handlers = {"run": cmd_run, "report": cmd_report, "cache": cmd_cache, "list": cmd_list}
+    handlers = {
+        "run": cmd_run,
+        "bench": cmd_bench,
+        "report": cmd_report,
+        "cache": cmd_cache,
+        "list": cmd_list,
+    }
     return handlers[args.command](args)
 
 

@@ -9,10 +9,17 @@ Two backends mirror the paper's:
   pGraph bottom-up into a loop-nest IR (with the materialized-reduction
   optimization of Figure 4) that the simulated tensor compiler schedules and
   costs.
+
+:mod:`repro.codegen.plan` compiles the eager lowering once per
+``(graph, binding)`` into a flat :class:`ExecutionPlan` of primitive numpy
+steps with a matching hand-derived backward plan; ``EagerOperator.forward``
+runs through it by default (``REPRO_COMPILED_FORWARD=0`` restores the
+per-call interpreter).
 """
 
 from repro.codegen.eager import EagerOperator, lower_to_module
 from repro.codegen.loopnest import LoopNest, LoopNestProgram, lower_to_loopnest
+from repro.codegen.plan import ExecutionPlan, cached_plan, compile_plan, plan_cache_key
 
 __all__ = [
     "EagerOperator",
@@ -20,4 +27,8 @@ __all__ = [
     "LoopNest",
     "LoopNestProgram",
     "lower_to_loopnest",
+    "ExecutionPlan",
+    "cached_plan",
+    "compile_plan",
+    "plan_cache_key",
 ]

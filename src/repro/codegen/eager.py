@@ -18,21 +18,82 @@ identified coordinates are guaranteed to be live axes.
 from __future__ import annotations
 
 import string
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.codegen.plan import ExecutionPlan, PlanError, cached_plan
 from repro.core.operator import SynthesizedOperator
 from repro.core.pgraph import Application, Dim
 from repro.core.primitives import Expand, Merge, Reduce, Share, Shift, Split, Stride, Unfold
 from repro.ir.variables import Variable
 from repro.nn import functional as F
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, grad_enabled
 
 
 class LoweringError(RuntimeError):
     """Raised when a pGraph cannot be lowered to eager tensor operations."""
+
+
+# Bound lazily on first use: importing repro.search at module scope would
+# cycle back through search.__init__ -> substitution -> this module.
+_compiled_forward_resolver = None
+
+
+def _compiled_forward_enabled() -> bool:
+    global _compiled_forward_resolver
+    if _compiled_forward_resolver is None:
+        from repro.search.cache import compiled_forward_enabled
+
+        _compiled_forward_resolver = compiled_forward_enabled
+    return _compiled_forward_resolver()
+
+
+class _PlanBackward:
+    """One shared backward pass behind every parent's VJP closure.
+
+    The compiled forward registers the whole operator as a *single* autograd
+    node with one parent entry per tensor (input + each weight).  The tape
+    calls each parent's VJP with the same upstream gradient object, so the
+    full backward plan runs once and the per-parent closures just pick their
+    slice out of the shared result.
+    """
+
+    __slots__ = ("plan", "saved", "weights", "need_input_grad", "_grad", "_result")
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        saved: list,
+        weights: Sequence[np.ndarray],
+        need_input_grad: bool,
+    ) -> None:
+        self.plan = plan
+        self.saved = saved
+        self.weights = weights
+        self.need_input_grad = need_input_grad
+        self._grad: np.ndarray | None = None
+        self._result: tuple[np.ndarray | None, dict[int, np.ndarray]] | None = None
+
+    def _results(self, grad: np.ndarray):
+        if self._grad is not grad:
+            self._result = self.plan.run_backward(
+                grad, self.saved, self.weights, need_input_grad=self.need_input_grad
+            )
+            self._grad = grad
+        return self._result
+
+    def input_vjp(self, grad: np.ndarray) -> np.ndarray:
+        result = self._results(grad)[0]
+        assert result is not None  # only registered when the input needs a grad
+        return result
+
+    def weight_vjp(self, index: int):
+        def vjp(grad: np.ndarray) -> np.ndarray:
+            return self._results(grad)[1][index]
+
+        return vjp
 
 
 class EagerOperator(Module):
@@ -54,6 +115,7 @@ class EagerOperator(Module):
         rng = rng or np.random.default_rng(0)
         self.operator = operator
         self.binding = dict(binding)
+        self._plan: ExecutionPlan | None = None
         graph = operator.graph
         self.weights: list[Parameter] = []
         reduction_total = 1
@@ -84,10 +146,44 @@ class EagerOperator(Module):
         return dim.size.evaluate(self.binding)
 
     def forward(self, x: Tensor) -> Tensor:
-        graph = self.operator.graph
         expected = self.operator.concrete_input_shape(self.binding)
         if tuple(x.shape) != tuple(expected):
             raise LoweringError(f"input shape {x.shape} does not match expected {expected}")
+        if _compiled_forward_enabled():
+            return self._forward_compiled(x)
+        return self._forward_interpreted(x)
+
+    def _forward_compiled(self, x: Tensor) -> Tensor:
+        """Run the once-compiled execution plan (the default fast path)."""
+        if self._plan is None:
+            try:
+                self._plan = cached_plan(self.operator, self.binding)
+            except PlanError as exc:
+                # Structural failures the interpreter would also reject —
+                # keep the exception type the evaluators treat as "invalid
+                # candidate".  Anything else (including SizeError, a
+                # ValueError like in the interpreter path) propagates: a
+                # crash in the plan compiler is a genuine bug, not an
+                # invalid candidate.
+                raise LoweringError(f"cannot compile execution plan: {exc}") from exc
+        plan = self._plan
+        weight_arrays = [weight.data for weight in self.weights]
+        need_grad = grad_enabled() and (
+            x.requires_grad or any(weight.requires_grad for weight in self.weights)
+        )
+        data, saved = plan.run_forward(x.data, weight_arrays, save_for_backward=need_grad)
+        if not need_grad:
+            return Tensor(data)
+        backward = _PlanBackward(plan, saved, weight_arrays, x.requires_grad)
+        parents = [(x, backward.input_vjp)]
+        parents.extend(
+            (weight, backward.weight_vjp(index)) for index, weight in enumerate(self.weights)
+        )
+        return Tensor.from_op(data, parents)
+
+    def _forward_interpreted(self, x: Tensor) -> Tensor:
+        """The original per-call interpreter (``REPRO_COMPILED_FORWARD=0``)."""
+        graph = self.operator.graph
 
         # Current tensor axes, labelled by pGraph dims.  Axis ``i`` of the
         # input corresponds to the frontier dim assigned to input position i.

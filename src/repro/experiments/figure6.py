@@ -21,7 +21,13 @@ from repro.nn.models import MODEL_BUILDERS
 from repro.nn.models.common import default_conv_factory
 from repro.nn.models.profiles import MODEL_PROFILES
 from repro.nn.trainer import Trainer, TrainingConfig
-from repro.search.cache import cached_baseline, cached_reward, default_train_steps, tuning_trials
+from repro.search.cache import (
+    cached_baseline,
+    cached_reward,
+    compute_dtype_name,
+    default_train_steps,
+    tuning_trials,
+)
 from repro.search.evaluator import LatencyEvaluator
 from repro.search.extraction import DEFAULT_COEFFICIENT_VALUES
 from repro.search.substitution import synthesized_conv_factory
@@ -97,7 +103,7 @@ def run(
         # backbone and training budget, the key the candidate's pGraph
         # signature (candidates sharing an operator train once, and repeated
         # runs at the same budget train nothing).
-        context = ("figure6", model, steps, seed)
+        context = ("figure6", model, steps, seed, compute_dtype_name())
         baseline_acc = cached_baseline(
             (context, "baseline"), lambda: train_accuracy(builder, default_conv_factory)
         )

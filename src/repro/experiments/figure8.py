@@ -24,7 +24,13 @@ from repro.nn.models.profiles import RESNET18_PROFILE
 from repro.nn.models.resnet import resnet18
 from repro.nn.module import Module
 from repro.nn.trainer import Trainer, TrainingConfig
-from repro.search.cache import cached_baseline, cached_reward, default_train_steps, tuning_trials
+from repro.search.cache import (
+    cached_baseline,
+    cached_reward,
+    compute_dtype_name,
+    default_train_steps,
+    tuning_trials,
+)
 from repro.search.evaluator import LatencyEvaluator
 from repro.search.extraction import DEFAULT_COEFFICIENT_VALUES, slot_is_substitutable
 from repro.search.substitution import synthesized_conv_factory
@@ -100,7 +106,7 @@ def run(target: HardwareTarget = MOBILE_CPU, train_steps: int | None = None, see
     result.points.append(CaseStudyPoint("int8_quantized", quantized_acc, int8_latency * 1e3))
 
     # Stacked convolution -----------------------------------------------------
-    context = ("figure8", steps, seed)
+    context = ("figure8", steps, seed, compute_dtype_name())
     stacked_acc = cached_baseline(
         (context, "stacked_convolution"),
         lambda: Trainer(resnet18(conv_factory=_stacked_conv_factory()), config)

@@ -56,6 +56,8 @@ _KNOBS = (
     "REPRO_EVAL_PROCESSES",
     "REPRO_EVAL_CACHE",
     "REPRO_RESULTS_DIR",
+    "REPRO_DTYPE",
+    "REPRO_COMPILED_FORWARD",
 )
 
 
@@ -323,8 +325,12 @@ def get_experiment(name: str) -> ExperimentSpec:
 
 
 @contextmanager
-def _applied_env(overrides: Mapping[str, str]):
-    """Temporarily pin environment variables, restoring the old values after."""
+def applied_env(overrides: Mapping[str, str]):
+    """Temporarily pin environment variables, restoring the old values after.
+
+    Public because ``repro bench`` uses it to pin the reference leg's
+    ``REPRO_COMPILED_FORWARD``/``REPRO_DTYPE`` knobs around a timed run.
+    """
     saved = {name: os.environ.get(name) for name in overrides}
     os.environ.update(overrides)
     try:
@@ -411,7 +417,7 @@ def run_experiment(
     stats_before = cache_stats()
     start = time.perf_counter()
     try:
-        with _applied_env(config.env_overrides()):
+        with applied_env(config.env_overrides()):
             record.environment = {
                 knob: os.environ[knob] for knob in _KNOBS if knob in os.environ
             }

@@ -23,6 +23,8 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.nn.tensor import compute_dtype
+
 
 @dataclass
 class Batch:
@@ -67,7 +69,7 @@ class SyntheticImageDataset:
         images = self.prototypes[labels] + noise * rng.normal(
             0.0, 1.0, size=(num_samples, channels, image_size, image_size)
         )
-        self.images = images.astype(np.float64)
+        self.images = images.astype(compute_dtype())
         self.labels = labels.astype(np.int64)
         _ = kernel  # kept for documentation of the smoothing weights
 

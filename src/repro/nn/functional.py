@@ -165,7 +165,7 @@ def max(a, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001 - mirrors
     a = as_tensor(a)
     axes = _normalize_axes(axis, a.ndim)
     data = a.data.max(axis=axes, keepdims=True)
-    mask = (a.data == data).astype(np.float64)
+    mask = (a.data == data).astype(a.data.dtype)
     mask = mask / mask.sum(axis=axes, keepdims=True)
     out = data if keepdims else np.squeeze(data, axis=axes)
 
@@ -212,7 +212,7 @@ def einsum(subscripts: str, *operands) -> Tensor:
     input_subs = [part.strip() for part in inputs_part.split(",")]
     if len(input_subs) != len(tensors):
         raise ValueError("einsum subscripts do not match the number of operands")
-    data = np.einsum(subscripts, *[t.data for t in tensors])
+    data = np.einsum(subscripts, *[t.data for t in tensors], optimize=True)
 
     parents = []
     for index, tensor in enumerate(tensors):
@@ -229,7 +229,7 @@ def einsum(subscripts: str, *operands) -> Tensor:
                 missing = [c for c in target_sub if c not in available]
                 reduced_target = "".join(c for c in target_sub if c not in missing)
                 sub_expr = ",".join([output_part] + other_subs) + "->" + reduced_target
-                grad = np.einsum(sub_expr, g, *[t.data for t in other_tensors])
+                grad = np.einsum(sub_expr, g, *[t.data for t in other_tensors], optimize=True)
                 if missing:
                     # Axes that appear only in this operand: gradient broadcasts.
                     expand_shape = []
@@ -364,6 +364,34 @@ def concatenate(tensors: Sequence, axis: int = 0) -> Tensor:
 # ---------------------------------------------------------------------------
 
 
+def unfold1d_geometry(
+    input_shape: Sequence[int], axis: int, window: int
+) -> tuple[tuple[tuple[int, int], ...], np.ndarray, tuple[int, ...], tuple[int, ...]]:
+    """The index math of the Unfold primitive: ``(pad_width, gather,
+    reshape_shape, transpose_axes)``.
+
+    Shared by the eager :func:`unfold1d` (computed per call) and the compiled
+    plan's ``UnfoldStep`` (computed once), so the same-padding convention and
+    gather layout can never silently diverge between the two paths.
+    """
+    input_shape = tuple(input_shape)
+    extent = input_shape[axis]
+    offset = window // 2
+    pad_width = tuple(
+        (offset, window - 1 - offset) if current == axis else (0, 0)
+        for current in range(len(input_shape))
+    )
+    # Gather indices: position i, window j reads padded index i + j.
+    gather = (np.arange(extent)[:, None] + np.arange(window)[None, :]).reshape(-1)
+    # After the gather the axis holds extent*window elements; split it into
+    # (extent, window), then move the window axis to the end.
+    reshape_shape = input_shape[:axis] + (extent, window) + input_shape[axis + 1 :]
+    axes = list(range(len(reshape_shape)))
+    window_axis = axes.pop(axis + 1)
+    axes.append(window_axis)
+    return pad_width, gather, reshape_shape, tuple(axes)
+
+
 def unfold1d(a, axis: int, window: int) -> Tensor:
     """Extract same-padded sliding windows of size ``window`` along ``axis``.
 
@@ -372,21 +400,10 @@ def unfold1d(a, axis: int, window: int) -> Tensor:
     exactly the top-down semantics of the paper's Unfold primitive.
     """
     a = as_tensor(a)
-    extent = a.shape[axis]
-    offset = window // 2
-    pad_width = [(0, 0)] * a.ndim
-    pad_width[axis] = (offset, window - 1 - offset)
+    pad_width, gather, reshape_shape, axes = unfold1d_geometry(a.shape, axis, window)
     padded = pad(a, pad_width)
-    # Gather indices: position i, window j reads padded index i + j.
-    gather = (np.arange(extent)[:, None] + np.arange(window)[None, :]).reshape(-1)
     taken = take(padded, gather, axis=axis)  # axis extent becomes extent*window
-    new_shape = list(a.shape)
-    new_shape[axis : axis + 1] = [extent, window]
-    reshaped = reshape(taken, new_shape)
-    # Move the window axis to the end.
-    axes = list(range(reshaped.ndim))
-    window_axis = axes.pop(axis + 1)
-    axes.append(window_axis)
+    reshaped = reshape(taken, reshape_shape)
     return transpose(reshaped, axes)
 
 
@@ -419,7 +436,7 @@ def cross_entropy(logits, targets: np.ndarray) -> Tensor:
     targets = np.asarray(targets, dtype=np.int64)
     log_probs = log_softmax(logits, axis=-1)
     batch = logits.shape[0]
-    onehot = np.zeros(logits.shape, dtype=np.float64)
+    onehot = np.zeros(logits.shape, dtype=logits.data.dtype)
     onehot[np.arange(batch), targets] = 1.0
     picked = mul(log_probs, Tensor(onehot))
     return mul(sum(picked), -1.0 / batch)

@@ -6,7 +6,7 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, compute_dtype
 
 
 class Parameter(Tensor):
@@ -95,7 +95,7 @@ class Module:
         params = dict(self.named_parameters())
         for name, value in state.items():
             if name in params:
-                params[name].data = np.asarray(value, dtype=np.float64).copy()
+                params[name].data = np.asarray(value, dtype=compute_dtype()).copy()
 
 
 class Sequential(Module):

@@ -18,6 +18,25 @@ import numpy as np
 
 _GRAD_ENABLED = True
 
+# Bound lazily on first use: importing repro.search at module scope would
+# cycle back through search.__init__ -> substitution -> codegen -> nn.
+_dtype_name_resolver = None
+
+
+def compute_dtype() -> np.dtype:
+    """The numpy dtype every tensor allocation uses (the ``REPRO_DTYPE`` knob).
+
+    Resolved per call so the experiment runner's environment overrides take
+    effect immediately; see :func:`repro.search.cache.compute_dtype_name` for
+    the default (float32 under ``REPRO_SMOKE``, float64 otherwise).
+    """
+    global _dtype_name_resolver
+    if _dtype_name_resolver is None:
+        from repro.search.cache import compute_dtype_name
+
+        _dtype_name_resolver = compute_dtype_name
+    return np.dtype(_dtype_name_resolver())
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -62,7 +81,7 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=compute_dtype())
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._parents: list[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]] = []
@@ -90,8 +109,12 @@ class Tensor:
         parents: Iterable[tuple["Tensor", Callable[[np.ndarray], np.ndarray]]],
     ) -> "Tensor":
         """Create an op output, recording parents only if gradients are enabled."""
+        if not _GRAD_ENABLED:
+            # Inference fast path: no closure-list materialization, no
+            # requires_grad scan — the parents iterable is never consumed.
+            return Tensor(data)
         parents = list(parents)
-        requires_grad = _GRAD_ENABLED and any(p.requires_grad for p, _ in parents)
+        requires_grad = any(p.requires_grad for p, _ in parents)
         out = Tensor(data, requires_grad=requires_grad)
         if requires_grad:
             out._parents = [(p, fn) for p, fn in parents if p.requires_grad]
@@ -134,7 +157,7 @@ class Tensor:
             if self.data.size != 1:
                 raise ValueError("backward() without a gradient requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological order of the tape reachable from self.
         order: list[Tensor] = []
@@ -281,4 +304,4 @@ def as_tensor(value) -> Tensor:
     """Coerce numpy arrays / scalars into (constant) tensors."""
     if isinstance(value, Tensor):
         return value
-    return Tensor(np.asarray(value, dtype=np.float64))
+    return Tensor(value)

@@ -130,6 +130,37 @@ def caches_enabled() -> bool:
     return os.environ.get("REPRO_EVAL_CACHE", "1") not in ("", "0", "false", "no")
 
 
+_VALID_DTYPES = ("float32", "float64")
+
+
+def compute_dtype_name() -> str:
+    """The compute dtype of the training substrate, as a dtype name.
+
+    ``REPRO_DTYPE`` always wins; otherwise smoke runs default to ``float32``
+    (halving memory bandwidth on the einsum-heavy proxy-training loop) and
+    full-fidelity runs keep ``float64``.  The name (not a numpy dtype) lives
+    here so this module stays stdlib-only; :func:`repro.nn.tensor.compute_dtype`
+    resolves it to the numpy dtype every array allocation uses.
+    """
+    raw = os.environ.get("REPRO_DTYPE")
+    if raw:
+        name = raw.strip().lower()
+        if name in _VALID_DTYPES:
+            return name
+        log.warning("ignoring malformed REPRO_DTYPE=%r (expected float32/float64)", raw)
+    return "float32" if smoke_mode() else "float64"
+
+
+def compiled_forward_enabled() -> bool:
+    """Whether lowered operators run through compiled execution plans.
+
+    ``REPRO_COMPILED_FORWARD=0`` is the escape hatch that keeps the original
+    per-call eager interpreter (:meth:`EagerOperator.forward`'s primitive walk)
+    for A/B timing; results must match the plan to numerical tolerance.
+    """
+    return os.environ.get("REPRO_COMPILED_FORWARD", "1") not in ("", "0", "false", "no")
+
+
 # ---------------------------------------------------------------------------
 # Caches
 # ---------------------------------------------------------------------------
@@ -224,6 +255,7 @@ class KeyedCache:
 _REWARD_CACHE = KeyedCache("reward")
 _COMPILE_CACHE = KeyedCache("compile")
 _BASELINE_CACHE = KeyedCache("baseline")
+_PLAN_CACHE = KeyedCache("plan")
 
 
 def reward_cache() -> KeyedCache:
@@ -241,9 +273,21 @@ def baseline_cache() -> KeyedCache:
     return _BASELINE_CACHE
 
 
+def plan_cache() -> KeyedCache:
+    """The process-wide compiled-execution-plan cache.
+
+    Keyed by ``(pGraph signature, input assignment, binding, concrete
+    shapes)`` — see :func:`repro.codegen.plan.cached_plan`, which owns key
+    construction.  Plans hold numpy index arrays and contraction paths, and
+    are cheap to recompile, so unlike the other caches they are *not*
+    persisted to disk — only memoized per process.
+    """
+    return _PLAN_CACHE
+
+
 def clear_caches() -> None:
     """Drop every cached evaluation (used by tests and long-running services)."""
-    for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE):
+    for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE, _PLAN_CACHE):
         cache.clear()
 
 
@@ -251,7 +295,7 @@ def cache_stats() -> dict[str, CacheStats]:
     """Snapshot of every cache's counters, keyed by cache name."""
     return {
         cache.name: cache.stats.snapshot()
-        for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE)
+        for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE, _PLAN_CACHE)
     }
 
 
@@ -279,8 +323,11 @@ def cached_baseline(context: Hashable, compute: Callable[[], float]) -> float:
 #: ``TuneResult`` or an extra component in an evaluation context): loading
 #: ignores snapshots written under any other version, so stale entries can
 #: never alias fresh ones.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
+#: The caches that persist to disk.  The plan cache is deliberately absent:
+#: compiled plans are cheap to rebuild and full of numpy arrays, so they are
+#: memoized per process only.
 _ALL_CACHES = (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE)
 
 
@@ -370,7 +417,7 @@ def load_caches(path: str) -> dict[str, int]:
 
 def cache_sizes() -> dict[str, int]:
     """Current entry count of every process-wide cache, keyed by cache name."""
-    return {cache.name: len(cache) for cache in _ALL_CACHES}
+    return {cache.name: len(cache) for cache in (*_ALL_CACHES, _PLAN_CACHE)}
 
 
 # ---------------------------------------------------------------------------

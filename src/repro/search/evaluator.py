@@ -26,7 +26,12 @@ from repro.ir.variables import Variable
 from repro.nn.data import SyntheticImageDataset
 from repro.nn.models.common import ConvSlot
 from repro.nn.trainer import Trainer, TrainingConfig
-from repro.search.cache import cached_baseline, cached_reward, default_train_steps
+from repro.search.cache import (
+    cached_baseline,
+    cached_reward,
+    compute_dtype_name,
+    default_train_steps,
+)
 from repro.search.extraction import (
     DEFAULT_COEFFICIENT_VALUES,
     binding_for_slot,
@@ -58,7 +63,13 @@ class EvaluationSettings:
     )
 
     def cache_key(self) -> tuple:
-        """Hashable description of every knob that influences a reward."""
+        """Hashable description of every knob that influences a reward.
+
+        The compute dtype is part of the key: float32 and float64 proxy
+        training genuinely diverge numerically, so their rewards must never
+        alias (``REPRO_COMPILED_FORWARD`` is deliberately absent — the plan
+        and the interpreter agree to tolerance).
+        """
         return (
             self.batch_size,
             self.train_steps,
@@ -67,6 +78,7 @@ class EvaluationSettings:
             self.dataset_size,
             self.dataset_seed,
             tuple(sorted(self.coefficients.items())),
+            compute_dtype_name(),
         )
 
 

@@ -5,6 +5,18 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+@pytest.fixture(autouse=True)
+def _full_precision_substrate(monkeypatch):
+    """Pin the unit tests to float64 regardless of the smoke default.
+
+    ``benchmarks/conftest.py`` exports ``REPRO_SMOKE=1`` for the whole
+    process, which would silently flip the compute dtype to float32 and break
+    the exact-numerics assertions here.  Tests that exercise the dtype knob
+    override this per-test with their own ``monkeypatch.setenv``.
+    """
+    monkeypatch.setenv("REPRO_DTYPE", "float64")
+
 from repro.core.library import (
     BLOCK,
     C_IN,

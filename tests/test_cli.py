@@ -158,6 +158,61 @@ def test_cli_cache_shows_snapshot_stats(tmp_path, capsys):
 
 
 # ---------------------------------------------------------------------------
+# repro bench
+# ---------------------------------------------------------------------------
+
+
+def test_bench_args_map_onto_experiment_config():
+    args = build_parser().parse_args(
+        ["bench", "figure8", "--smoke", "--train-steps", "4", "--repeats", "2"]
+    )
+    config = config_from_args(args)
+    assert config.smoke is True and config.train_steps == 4
+    assert args.repeats == 2 and not args.no_compare and args.max_seconds is None
+
+
+def test_cli_bench_writes_trajectory_and_enforces_threshold(tmp_path, capsys):
+    argv = [
+        "bench", "ablation-materialization",
+        "--results-dir", str(tmp_path),
+        "--repeats", "2",
+        "--no-compare",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "compiled:" in out and "bench record appended" in out
+
+    bench_path = tmp_path / "BENCH_ablation-materialization.json"
+    payload = json.loads(bench_path.read_text())
+    (entry,) = payload["entries"]
+    assert entry["repeats"] == 2
+    assert len(entry["compiled"]["times_seconds"]) == 2
+    assert entry["reference"] is None and entry["speedup_vs_eager_float64"] is None
+    assert entry["compiled"]["min_seconds"] <= entry["compiled"]["mean_seconds"]
+
+    # A second invocation appends to the trajectory instead of overwriting.
+    assert main(argv) == 0
+    assert len(json.loads(bench_path.read_text())["entries"]) == 2
+
+    # An absurd threshold turns the exit code into a CI failure.
+    assert main(argv + ["--max-seconds", "0.0"]) == 1
+    assert "exceeds the --max-seconds threshold" in capsys.readouterr().err
+
+
+def test_cli_bench_compare_reports_speedup(tmp_path):
+    argv = [
+        "bench", "ablation-materialization",
+        "--results-dir", str(tmp_path),
+        "--output", str(tmp_path / "custom.json"),
+    ]
+    assert main(argv) == 0
+    entry = json.loads((tmp_path / "custom.json").read_text())["entries"][-1]
+    assert entry["reference"] is not None
+    assert entry["speedup_vs_eager_float64"] is not None
+    assert not (tmp_path / "BENCH_ablation-materialization.json").exists()
+
+
+# ---------------------------------------------------------------------------
 # Resume: interrupted runs skip completed work items on the rerun
 # ---------------------------------------------------------------------------
 
