@@ -6,8 +6,7 @@ export PYTHONPATH
 .PHONY: test smoke check
 
 test:
-	python -m pytest -x -q \
-	  --deselect benchmarks/test_figure9.py::test_figure9_layerwise_comparison
+	python -m pytest -x -q
 
 smoke:
 	python -m repro.cli run figure5 --smoke

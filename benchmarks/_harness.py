@@ -26,10 +26,10 @@ def run_experiment_once(benchmark, name, **options):
     ``train_steps=8``) forwarded to the experiment's ``run()`` via
     :class:`~repro.experiments.runner.ExperimentConfig`.  Budget knobs that
     the config models as first-class fields (``train_steps``, ``seed``,
-    ``processes``, ``smoke``) are lifted onto those fields so a benchmark run
-    and the equivalent ``repro run`` CLI invocation build the *same* config —
-    and therefore records with comparable fingerprints.  Returns the
-    :class:`~repro.experiments.runner.RunOutcome`: assertions use
+    ``processes``, ``shards``, ``smoke``) are lifted onto those fields so a
+    benchmark run and the equivalent ``repro run`` CLI invocation build the
+    *same* config — and therefore records with comparable fingerprints.
+    Returns the :class:`~repro.experiments.runner.RunOutcome`: assertions use
     ``outcome.result`` (the experiment's result dataclass) and the rendered
     table is on ``outcome.record.table``.
     """
@@ -37,7 +37,7 @@ def run_experiment_once(benchmark, name, **options):
 
     config_fields = {
         key: options.pop(key)
-        for key in ("smoke", "train_steps", "processes", "seed")
+        for key in ("smoke", "train_steps", "processes", "shards", "seed")
         if key in options
     }
     config = ExperimentConfig(options=options, **config_fields)

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Smoke job: tier-1 tests + a CLI round trip that must leave a result artifact.
 #
-# The tier-1 command is `python -m pytest -x -q` (see ROADMAP.md).  One seed
-# failure is known and documented in README.md (test_figure9's parameter
-# reduction bound); it is deselected here so the job verifies everything
-# else while the `-x` tier-1 command still reports it.
+# The tier-1 command is `python -m pytest -x -q` (see ROADMAP.md).  The one
+# known reproduction gap (test_figure9's parameter-reduction bound, see
+# README.md) is a documented non-strict xfail, so the full suite runs green
+# with no deselects.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,9 +13,8 @@ RESULTS_DIR="$(mktemp -d)"
 export REPRO_RESULTS_DIR="$RESULTS_DIR"
 trap 'rm -rf "$RESULTS_DIR"' EXIT
 
-echo "== tier-1 tests (known figure9 seed failure deselected) =="
-python -m pytest -x -q \
-  --deselect benchmarks/test_figure9.py::test_figure9_layerwise_comparison
+echo "== tier-1 tests =="
+python -m pytest -x -q
 
 echo "== CLI smoke: repro run figure5 --smoke && repro report =="
 python -m repro.cli run figure5 --smoke
@@ -46,4 +45,33 @@ assert speedup is not None and speedup >= 1.5, (
     f"compiled-plan speedup regressed: {speedup}x < 1.5x"
 )
 print(f"OK: compiled-plan speedup {speedup}x (>= 1.5x)")
+PY
+
+echo "== sharded sweep: bench --all at 1 and 2 shards must agree =="
+# Every registered experiment, once per shard setting, into one trajectory
+# file per setting.  A tiny training budget keeps this a smoke test; what it
+# guards is (a) every experiment still runs under the sharded executor and
+# (b) the sharded sweep never costs *grossly* more than serial.  At smoke
+# scale the margin below is dominated by its absolute term, so this catches
+# catastrophic structural regressions (a per-wave fork storm, cache
+# re-pickling per item), not small overheads — fine-grained shard perf is
+# the acceptance bench's job, not this smoke job's.
+python -m repro.cli bench --all --smoke --no-compare --train-steps 2 --seed 0 \
+  --shards 1 --output "$RESULTS_DIR/BENCH_all_serial.json"
+python -m repro.cli bench --all --smoke --no-compare --train-steps 2 --seed 0 \
+  --shards 2 --output "$RESULTS_DIR/BENCH_all_sharded.json"
+python - "$RESULTS_DIR/BENCH_all_serial.json" "$RESULTS_DIR/BENCH_all_sharded.json" <<'PY'
+import json, sys
+serial = json.load(open(sys.argv[1]))["entries"]
+sharded = json.load(open(sys.argv[2]))["entries"]
+assert [e["experiment"] for e in serial] == [e["experiment"] for e in sharded]
+total_serial = sum(e["compiled"]["mean_seconds"] for e in serial)
+total_sharded = sum(e["compiled"]["mean_seconds"] for e in sharded)
+# Generous margin: both legs are live measurements on a possibly-noisy host,
+# so only a gross structural regression should trip this, never scheduler
+# jitter.
+assert total_sharded <= total_serial * 1.5 + 20.0, (
+    f"sharded sweep regressed: {total_sharded:.1f}s vs serial {total_serial:.1f}s"
+)
+print(f"OK: bench --all serial {total_serial:.1f}s, 2 shards {total_sharded:.1f}s")
 PY

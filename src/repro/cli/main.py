@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--train-steps", type=int, help="proxy-training step budget")
     run.add_argument("--processes", type=int, help="worker processes for candidate evaluation")
+    run.add_argument(
+        "--shards",
+        type=int,
+        help="worker shards for sharded search execution (REPRO_SEARCH_SHARDS); "
+        "results are identical at any shard count",
+    )
     run.add_argument("--seed", type=int, help="random seed for experiments that take one")
     run.add_argument(
         "--option",
@@ -92,7 +98,18 @@ def build_parser() -> argparse.ArgumentParser:
         "bench",
         help="time one experiment (compiled vs eager-float64) and record the trajectory",
     )
-    bench.add_argument("experiment", choices=experiment_names(), help="which figure/table to time")
+    bench.add_argument(
+        "experiment",
+        nargs="?",
+        choices=experiment_names(),
+        help="which figure/table to time (omit with --all)",
+    )
+    bench.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_experiments",
+        help="sweep every registered experiment into one trajectory file",
+    )
     bench_fidelity = bench.add_mutually_exclusive_group()
     bench_fidelity.add_argument(
         "--smoke", action="store_true", help="shrunken workloads (REPRO_SMOKE=1)"
@@ -102,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--train-steps", type=int, help="proxy-training step budget")
     bench.add_argument("--processes", type=int, help="worker processes for candidate evaluation")
+    bench.add_argument(
+        "--shards",
+        type=int,
+        help="worker shards for sharded search execution (REPRO_SEARCH_SHARDS); "
+        "results are identical at any shard count",
+    )
     bench.add_argument("--seed", type=int, help="random seed for experiments that take one")
     bench.add_argument(
         "--repeats", type=int, default=1, help="timed repetitions per leg (caches cleared between)"
@@ -164,6 +187,7 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         smoke=smoke,
         train_steps=args.train_steps,
         processes=args.processes,
+        shards=getattr(args, "shards", None),
         seed=args.seed,
         options=options,
     )
@@ -282,7 +306,7 @@ def _bench_leg(experiment: str, config: ExperimentConfig, repeats: int, override
     }
 
 
-def _append_bench_record(path: Path, entry: dict) -> None:
+def _append_bench_record(path: Path, entry: dict, name: str | None = None) -> None:
     """Append one entry to the machine-readable perf trajectory file."""
     history: list = []
     if path.exists():
@@ -295,20 +319,18 @@ def _append_bench_record(path: Path, entry: dict) -> None:
     history.append(entry)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
-        json.dumps({"experiment": entry["experiment"], "entries": history}, indent=2) + "\n",
+        json.dumps(
+            {"experiment": name or entry["experiment"], "entries": history}, indent=2
+        )
+        + "\n",
         encoding="utf-8",
     )
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
-    store = _store(args)
-    config = config_from_args(args)
-    repeats = max(args.repeats, 1)
-
-    with applied_env(config.env_overrides()):
-        dtype = compute_dtype_name()
-    print(f"benchmarking {args.experiment} (repeats={repeats}, compiled dtype={dtype}) ...")
-    compiled = _bench_leg(args.experiment, config, repeats, {})
+def _bench_one(experiment: str, config, repeats: int, no_compare: bool, dtype: str) -> dict:
+    """Time one experiment's compiled (and optionally reference) legs."""
+    print(f"benchmarking {experiment} (repeats={repeats}, compiled dtype={dtype}) ...")
+    compiled = _bench_leg(experiment, config, repeats, {})
     print(
         f"  compiled:  mean {compiled['mean_seconds']:.2f}s  "
         f"min {compiled['min_seconds']:.2f}s  over {compiled['times_seconds']}"
@@ -316,9 +338,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     reference = None
     speedup = None
-    if not args.no_compare:
+    if not no_compare:
         reference = _bench_leg(
-            args.experiment,
+            experiment,
             config,
             repeats,
             {"REPRO_COMPILED_FORWARD": "0", "REPRO_DTYPE": "float64"},
@@ -333,8 +355,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"  speedup:   {speedup:.2f}x (compiled {dtype} vs eager float64)")
     print("  cache activity (first compiled run):", _format_cache_delta(compiled["cache_activity"][0]))
 
-    entry = {
-        "experiment": args.experiment,
+    return {
+        "experiment": experiment,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "config": config.to_dict(),
         "repeats": repeats,
@@ -343,13 +365,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "reference": reference,
         "speedup_vs_eager_float64": speedup,
     }
-    output = Path(args.output) if args.output else store.root / f"BENCH_{args.experiment}.json"
-    _append_bench_record(output, entry)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    store = _store(args)
+    config = config_from_args(args)
+    repeats = max(args.repeats, 1)
+
+    if args.all_experiments:
+        if args.experiment is not None:
+            print("bench: give an experiment or --all, not both", file=sys.stderr)
+            return 2
+        experiments = experiment_names()
+    elif args.experiment is not None:
+        experiments = [args.experiment]
+    else:
+        print("bench: an experiment name (or --all) is required", file=sys.stderr)
+        return 2
+
+    with applied_env(config.env_overrides()):
+        dtype = compute_dtype_name()
+
+    trajectory = "all" if args.all_experiments else args.experiment
+    output = Path(args.output) if args.output else store.root / f"BENCH_{trajectory}.json"
+
+    over_threshold: list[str] = []
+    for experiment in experiments:
+        entry = _bench_one(experiment, config, repeats, args.no_compare, dtype)
+        _append_bench_record(output, entry, name=trajectory)
+        if args.max_seconds is not None and entry["compiled"]["mean_seconds"] > args.max_seconds:
+            over_threshold.append(experiment)
     print(f"bench record appended to {output}")
 
-    if args.max_seconds is not None and compiled["mean_seconds"] > args.max_seconds:
+    if over_threshold:
         print(
-            f"FAIL: compiled mean {compiled['mean_seconds']:.2f}s exceeds the "
+            f"FAIL: compiled mean of {', '.join(over_threshold)} exceeds the "
             f"--max-seconds threshold of {args.max_seconds:.2f}s",
             file=sys.stderr,
         )
@@ -362,6 +412,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _record_shards(record: ResultRecord) -> str:
+    """The shard count a run executed with, from its captured environment.
+
+    The runner deliberately nulls ``config["shards"]`` before fingerprinting
+    (shards never change results, so they must not change record identity);
+    ``REPRO_SEARCH_SHARDS`` in the record's environment is the one place the
+    count survives.  Rendering it next to the fingerprint is what makes
+    serial/sharded parity auditable from `repro report`: a sharded run of the
+    same experiment must show the same metrics as its serial sibling.
+    """
+    shards = record.environment.get("REPRO_SEARCH_SHARDS")
+    return str(shards) if shards is not None else "1"
+
+
 def render_markdown_report(records: list[ResultRecord]) -> str:
     """Per-experiment markdown tables over the stored runs."""
     if not records:
@@ -371,7 +435,10 @@ def render_markdown_report(records: list[ResultRecord]) -> str:
     for experiment in experiments:
         group = [record for record in records if record.experiment == experiment]
         metric_names = sorted({name for record in group for name in record.metrics})
-        header = ["run", "status", "started (UTC)", "duration (s)", "fingerprint", *metric_names]
+        header = [
+            "run", "status", "started (UTC)", "duration (s)", "shards", "fingerprint",
+            *metric_names,
+        ]
         lines.append(f"## {experiment}")
         lines.append("")
         lines.append("| " + " | ".join(header) + " |")
@@ -382,6 +449,7 @@ def render_markdown_report(records: list[ResultRecord]) -> str:
                 record.status,
                 record.started_at,
                 f"{record.duration_seconds:.1f}",
+                _record_shards(record),
                 record.fingerprint(),
                 *[_format_number(record.metrics.get(name)) for name in metric_names],
             ]
@@ -395,7 +463,8 @@ def render_csv_report(records: list[ResultRecord]) -> str:
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     writer.writerow(
-        ["run_id", "experiment", "status", "started_at", "duration_seconds", "fingerprint", "metric", "value"]
+        ["run_id", "experiment", "status", "started_at", "duration_seconds", "shards",
+         "fingerprint", "metric", "value"]
     )
     for record in records:
         base = [
@@ -404,6 +473,7 @@ def render_csv_report(records: list[ResultRecord]) -> str:
             record.status,
             record.started_at,
             record.duration_seconds,
+            _record_shards(record),
             record.fingerprint(),
         ]
         if not record.metrics:

@@ -11,6 +11,20 @@ The implementation is a standard UCT tree search with random rollouts that are
 *guided* by the shape-distance metric, mirroring the paper's combination of
 stochastic tree search and guided synthesis.
 
+The search loop is **batched**: :meth:`MCTS.propose_batch` runs the tree
+policy for a wave of iterations (recording every pending terminal rollout
+without evaluating it), :meth:`MCTS.pending_evaluations` lists the unique
+signatures the wave needs rewards for, and :meth:`MCTS.apply_results` feeds
+the rewards back in iteration order.  Within a wave only *visit counts* are
+backpropagated eagerly (a deterministic virtual loss that diversifies the
+selections); rewards land all at once in ``apply_results``.  Because the
+wave's composition depends only on the seed and the wave width — never on
+how, where, or whether rewards were cached — the sample sequence is
+bit-identical across serial runs, sharded runs
+(:func:`repro.search.parallel.sharded_reward_evaluator`), and cache
+round-trips.  ``batch_size=1`` (the default) reproduces the classic
+one-sample-at-a-time UCT loop exactly.
+
 Rewards are memoized twice: per instance (``_local_rewards``, which also
 deduplicates the recorded samples) and process-wide through
 :func:`repro.search.cache.cached_reward` under ``MCTSConfig.cache_context`` —
@@ -25,7 +39,7 @@ import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Hashable
+from typing import Callable, Hashable, Mapping, Sequence
 
 from repro.core.enumeration import Action, EnumerationOptions, enumerate_children
 from repro.core.operator import OperatorSpec, SynthesizedOperator
@@ -50,6 +64,12 @@ class MCTSConfig:
     seed: int = 0
     #: maximum number of children to expand per node (limits branching).
     max_children: int = 64
+    #: frontier width: how many rollouts each wave proposes before their
+    #: rewards are applied.  The wave composition (and hence the whole sample
+    #: sequence) is a function of the seed and this width only — sharded
+    #: evaluation parallelizes *within* a wave without changing it.  ``1``
+    #: reproduces the classic one-sample-at-a-time UCT loop exactly.
+    batch_size: int = 1
     #: context of the process-wide reward cache.  Searches sharing a context
     #: (same backbone, same evaluation settings) reuse each other's rewards;
     #: ``None`` keeps rewards private to this search instance.
@@ -93,6 +113,25 @@ class SampleRecord:
 
 
 @dataclass
+class PendingRollout:
+    """One proposed-but-unrewarded rollout of a frontier wave.
+
+    ``operator``/``signature`` are ``None`` for invalid rollouts (depth limit
+    hit, dead end, or budget exceeded), which receive zero reward at apply
+    time — exactly like the classic loop, just deferred to the wave boundary.
+    """
+
+    iteration: int
+    node: _Node
+    operator: SynthesizedOperator | None = None
+    signature: str | None = None
+
+#: Batched reward evaluation hook for :meth:`MCTS.run`: unique pending
+#: ``(signature, operator)`` pairs in wave order → reward per signature.
+BatchEvaluator = Callable[[Sequence[tuple[str, SynthesizedOperator]]], Mapping[str, float]]
+
+
+@dataclass
 class MCTS:
     """UCT search for high-reward operators under a FLOPs budget."""
 
@@ -105,6 +144,7 @@ class MCTS:
         self._rng = random.Random(self.config.seed)
         self._root = _Node(PGraph.root(self.spec.output_shape, self.spec.input_shape), None, None)
         self.samples: list[SampleRecord] = []
+        self._iteration = 0
         #: rewards already recorded by THIS search: deduplicates samples and
         #: keeps within-run memoization unconditional (even with the
         #: process-wide caches disabled via REPRO_EVAL_CACHE=0).
@@ -118,15 +158,108 @@ class MCTS:
 
     # -- public API --------------------------------------------------------
 
-    def run(self, iterations: int | None = None) -> list[SampleRecord]:
-        """Run the search and return all evaluated samples (best first)."""
+    def run(
+        self,
+        iterations: int | None = None,
+        evaluate_batch: BatchEvaluator | None = None,
+    ) -> list[SampleRecord]:
+        """Run the search and return all evaluated samples (best first).
+
+        ``evaluate_batch`` overrides how each wave's pending rewards are
+        computed (e.g. :func:`repro.search.parallel.sharded_reward_evaluator`
+        fans them out over worker processes).  The default evaluates serially
+        through the process-wide reward cache.  Either way the sample
+        sequence is identical: waves are composed before any evaluation.
+        """
         iterations = iterations if iterations is not None else self.config.iterations
-        for iteration in range(iterations):
+        width = max(self.config.batch_size, 1)
+        self._iteration = 0
+        done = 0
+        while done < iterations:
+            wave = self.propose_batch(min(width, iterations - done))
+            if not wave:
+                break
+            rewards = self._evaluate_wave(wave, evaluate_batch)
+            self.apply_results(wave, rewards)
+            done += len(wave)
+        return self.best_samples()
+
+    # -- batched frontier API ----------------------------------------------
+
+    def propose_batch(self, n: int) -> list[PendingRollout]:
+        """Run the tree policy for up to ``n`` iterations, deferring rewards.
+
+        Each iteration selects, expands and rolls out exactly as the classic
+        loop does (consuming the same RNG stream) but records the terminal
+        operator as a :class:`PendingRollout` instead of evaluating it.
+        Visit counts are backpropagated immediately — a deterministic virtual
+        loss that steers later selections in the same wave away from the
+        frontier already being evaluated; rewards land in
+        :meth:`apply_results`.
+        """
+        wave: list[PendingRollout] = []
+        for _ in range(max(n, 0)):
             node = self._select(self._root)
             node = self._expand(node)
-            reward = self._rollout(node, iteration)
-            self._backpropagate(node, reward)
-        return self.best_samples()
+            pending = self._rollout_pending(node, self._iteration)
+            self._propagate_visit(node)
+            wave.append(pending)
+            self._iteration += 1
+        return wave
+
+    def pending_evaluations(
+        self, wave: Sequence[PendingRollout]
+    ) -> list[tuple[str, SynthesizedOperator]]:
+        """The unique (signature, operator) pairs this wave needs rewards for.
+
+        First-appearance order; signatures already evaluated by this search
+        are excluded (their recorded reward is reused at apply time).
+        """
+        seen = set(self._local_rewards)
+        pending: list[tuple[str, SynthesizedOperator]] = []
+        for rollout in wave:
+            if rollout.signature is not None and rollout.signature not in seen:
+                seen.add(rollout.signature)
+                pending.append((rollout.signature, rollout.operator))
+        return pending
+
+    def apply_results(
+        self, wave: Sequence[PendingRollout], rewards: Mapping[str, float]
+    ) -> None:
+        """Record the wave's samples and backpropagate rewards, in wave order."""
+        for rollout in wave:
+            if rollout.signature is None:
+                reward = 0.0
+            elif rollout.signature in self._local_rewards:
+                reward = self._local_rewards[rollout.signature]
+            else:
+                reward = float(rewards[rollout.signature])
+                self._local_rewards[rollout.signature] = reward
+                self.samples.append(
+                    SampleRecord(
+                        operator=rollout.operator, reward=reward, iteration=rollout.iteration
+                    )
+                )
+            self._propagate_reward(rollout.node, reward)
+
+    def _evaluate_wave(
+        self, wave: Sequence[PendingRollout], evaluate_batch: BatchEvaluator | None
+    ) -> Mapping[str, float]:
+        from repro.search.cache import cached_reward  # lazy: avoids an import cycle
+
+        pending = self.pending_evaluations(wave)
+        if not pending:
+            return {}
+        if evaluate_batch is not None:
+            return dict(evaluate_batch(pending))
+        rewards: dict[str, float] = {}
+        for signature, operator in pending:
+            rewards[signature] = cached_reward(
+                self._context,
+                signature,
+                lambda operator=operator: float(self.reward_fn(operator)),
+            )
+        return rewards
 
     def best_samples(self, top_k: int | None = None) -> list[SampleRecord]:
         ordered = sorted(self.samples, key=lambda record: record.reward, reverse=True)
@@ -175,9 +308,12 @@ class MCTS:
             if shape_distance(child.frontier_shape, child.input_shape) <= remaining
         ]
 
-    def _rollout(self, node: _Node, iteration: int) -> float:
-        from repro.search.cache import cached_reward  # lazy: avoids an import cycle
+    def _rollout_pending(self, node: _Node, iteration: int) -> PendingRollout:
+        """Complete ``node``'s graph with guided random rollout, deferring the reward.
 
+        Consumes exactly the RNG the classic rollout did; the terminal
+        operator (or the invalid outcome) is recorded for wave evaluation.
+        """
         graph = node.graph
         # ``rollout_depth=0`` is a legitimate setting (no random completion
         # beyond the tree policy), so only ``None`` falls back to max_depth.
@@ -188,25 +324,25 @@ class MCTS:
         )
         while not (graph.is_complete and graph.depth > 0):
             if graph.depth >= depth_limit:
-                return 0.0
+                return PendingRollout(iteration=iteration, node=node)
             children = enumerate_children(graph, self.options)
             children = self._prune_by_distance(graph, children)
             if not children:
-                return 0.0
+                return PendingRollout(iteration=iteration, node=node)
             _, graph = self._rng.choice(children)
         if not self.options.within_budgets(graph):
-            return 0.0
+            return PendingRollout(iteration=iteration, node=node)
         operator = SynthesizedOperator.from_graph(graph, self.spec)
-        signature = graph.signature()
-        if signature in self._local_rewards:
-            return self._local_rewards[signature]
-        reward = cached_reward(self._context, signature, lambda: float(self.reward_fn(operator)))
-        self._local_rewards[signature] = reward
-        self.samples.append(SampleRecord(operator=operator, reward=reward, iteration=iteration))
-        return reward
+        return PendingRollout(
+            iteration=iteration, node=node, operator=operator, signature=graph.signature()
+        )
 
-    def _backpropagate(self, node: _Node | None, reward: float) -> None:
+    def _propagate_visit(self, node: _Node | None) -> None:
         while node is not None:
             node.visits += 1
+            node = node.parent
+
+    def _propagate_reward(self, node: _Node | None, reward: float) -> None:
+        while node is not None:
             node.total_reward += reward
             node = node.parent

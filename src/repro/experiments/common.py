@@ -21,8 +21,9 @@ from repro.core.library import GROUPS, K1, SHRINK, build_operator1, build_operat
 from repro.core.operator import SynthesizedOperator
 from repro.ir.variables import Variable
 from repro.nn.models.common import ConvSlot
-from repro.search.cache import parallel_map, tuning_trials
+from repro.search.cache import parallel_map, search_shards, tuning_trials
 from repro.search.evaluator import LatencyEvaluator
+from repro.search.parallel import sharded_map, warn_processes_ignored
 
 
 @dataclass(frozen=True)
@@ -87,12 +88,16 @@ def evaluate_model(
     candidates: Sequence[Candidate],
     batch: int = 1,
     processes: int | None = None,
+    shards: int | None = None,
 ) -> ModelEvaluation:
     """Latency of the baseline model and of every candidate substitution.
 
-    ``processes`` (default: the ``REPRO_EVAL_PROCESSES`` environment knob)
-    opts into evaluating candidates in parallel worker processes; the serial
-    default additionally warms the process-wide compile cache.
+    ``shards`` (default: the ``REPRO_SEARCH_SHARDS`` environment knob) fans
+    the per-candidate tuning out over shard worker processes and merges their
+    compile-cache entries back into this process.  With sharding off,
+    ``processes`` (the older ``REPRO_EVAL_PROCESSES`` knob) still opts into
+    the cache-discarding parallel map; the serial default warms the
+    process-wide compile cache directly.
     """
     baseline_evaluator = LatencyEvaluator(slots=slots, backend=backend, target=target, batch=batch)
     evaluation = ModelEvaluation(
@@ -102,9 +107,13 @@ def evaluate_model(
         baseline_ms=baseline_evaluator.baseline_latency() * 1e3,
     )
     worker = functools.partial(_candidate_latency_ms, tuple(slots), backend, target, batch)
-    for candidate, latency_ms in zip(
-        candidates, parallel_map(worker, candidates, processes=processes)
-    ):
+    count = shards if shards is not None else search_shards()
+    if count > 1:
+        warn_processes_ignored(count, processes)
+        latencies = sharded_map(worker, candidates, shards=count)
+    else:
+        latencies = parallel_map(worker, candidates, processes=processes)
+    for candidate, latency_ms in zip(candidates, latencies):
         evaluation.candidate_ms[candidate.name] = latency_ms
     return evaluation
 

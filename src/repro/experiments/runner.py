@@ -54,6 +54,7 @@ _KNOBS = (
     "REPRO_SMOKE",
     "REPRO_TRAIN_STEPS",
     "REPRO_EVAL_PROCESSES",
+    "REPRO_SEARCH_SHARDS",
     "REPRO_EVAL_CACHE",
     "REPRO_RESULTS_DIR",
     "REPRO_DTYPE",
@@ -75,6 +76,12 @@ class ExperimentConfig:
     train_steps: int | None = None
     #: worker processes for candidate evaluation (``REPRO_EVAL_PROCESSES``).
     processes: int | None = None
+    #: worker shards for sharded search execution (``REPRO_SEARCH_SHARDS``).
+    #: Results are bit-identical at any shard count, so the runner excludes
+    #: this field from the *fingerprinted* config — a sharded run and its
+    #: serial sibling must agree on the fingerprint.  ``repro report`` reads
+    #: the shard count from the record's captured environment instead.
+    shards: int | None = None
     #: random seed passed to experiments that accept one; None → their default.
     seed: int | None = None
     #: extra keyword arguments for the experiment's ``run()`` (e.g. models=[...]).
@@ -85,6 +92,7 @@ class ExperimentConfig:
             "smoke": self.smoke,
             "train_steps": self.train_steps,
             "processes": self.processes,
+            "shards": self.shards,
             "seed": self.seed,
             "options": dict(self.options),
         }
@@ -95,6 +103,7 @@ class ExperimentConfig:
             smoke=payload.get("smoke"),
             train_steps=payload.get("train_steps"),
             processes=payload.get("processes"),
+            shards=payload.get("shards"),
             seed=payload.get("seed"),
             options=dict(payload.get("options") or {}),
         )
@@ -108,6 +117,8 @@ class ExperimentConfig:
             overrides["REPRO_TRAIN_STEPS"] = str(self.train_steps)
         if self.processes is not None:
             overrides["REPRO_EVAL_PROCESSES"] = str(self.processes)
+        if self.shards is not None:
+            overrides["REPRO_SEARCH_SHARDS"] = str(self.shards)
         return overrides
 
 
@@ -401,6 +412,12 @@ def run_experiment(
     applied_config = config.to_dict()
     if "seed" in dropped:
         applied_config["seed"] = None
+    # The shard count never changes results (that's the sharded executor's
+    # guarantee), so it must not change the fingerprint either — `repro run
+    # --shards 4` and the serial run produce the same record identity.  The
+    # count itself is still recorded: REPRO_SEARCH_SHARDS lands in the
+    # record's environment, which is where `repro report` reads it from.
+    applied_config["shards"] = None
     applied_config["options"] = {
         key: value for key, value in applied_config["options"].items() if key not in dropped
     }

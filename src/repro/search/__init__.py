@@ -15,7 +15,9 @@ from repro.search.cache import (
     compile_cache,
     parallel_map,
     reward_cache,
+    search_shards,
 )
+from repro.search.parallel import sharded_map, sharded_reward_evaluator
 from repro.search.substitution import SynthesizedConv2d, SynthesizedLinear, synthesized_conv_factory
 from repro.search.extraction import extract_conv_slots, conv_spec_from_slots, VISION_COEFFICIENTS
 from repro.search.evaluator import AccuracyEvaluator, LatencyEvaluator, EvaluationSettings
@@ -41,4 +43,7 @@ __all__ = [
     "compile_cache",
     "parallel_map",
     "reward_cache",
+    "search_shards",
+    "sharded_map",
+    "sharded_reward_evaluator",
 ]

@@ -44,6 +44,13 @@ The module also hosts the run-budget knobs that the caches interact with:
   default; export ``REPRO_SMOKE=0`` for full-fidelity runs.
 * ``REPRO_EVAL_PROCESSES`` — opt-in process count for
   :func:`parallel_map`, used by candidate evaluation fan-out.
+* ``REPRO_SEARCH_SHARDS`` — shard count for the sharded search executor
+  (:mod:`repro.search.parallel`): MCTS reward waves, candidate evaluation
+  and the experiments' work items fan out over forked workers whose cache
+  entries merge back deterministically.  Results are bit-identical at any
+  shard count.
+* ``REPRO_CACHE_MAX_ENTRIES`` — per-cache size cap of the persisted
+  snapshot (LRU-style eviction at save time; ``0`` disables).
 * ``REPRO_EVAL_CACHE`` — ``0`` disables the in-process caches (A/B timing
   and stale-cache debugging; results are identical either way).
 * ``REPRO_RESULTS_DIR`` — root of the on-disk artifact store (default
@@ -120,6 +127,28 @@ def evaluation_processes() -> int:
     return max(env_int("REPRO_EVAL_PROCESSES", 1), 1)
 
 
+def search_shards() -> int:
+    """Shard count for sharded search execution (``REPRO_SEARCH_SHARDS``).
+
+    Read by :func:`repro.search.parallel.sharded_map` and everything built on
+    it (the MCTS reward waves, candidate evaluation, the experiment modules).
+    ``1`` (the default) is the serial path; results are bit-identical at any
+    shard count — sharding only changes *where* the work runs.
+    """
+    return max(env_int("REPRO_SEARCH_SHARDS", 1), 1)
+
+
+def cache_max_entries() -> int:
+    """Per-cache size cap of the persisted snapshot (``REPRO_CACHE_MAX_ENTRIES``).
+
+    The in-memory caches are unbounded (a process's working set is naturally
+    limited by its run), but the on-disk snapshot would otherwise grow with
+    every merge across runs.  At save time each cache keeps only its most
+    recently used entries up to this cap.  Values ``<= 0`` disable the cap.
+    """
+    return env_int("REPRO_CACHE_MAX_ENTRIES", 4096)
+
+
 def caches_enabled() -> bool:
     """Whether the process-wide caches are active (``REPRO_EVAL_CACHE=0`` disables).
 
@@ -186,7 +215,12 @@ class CacheStats:
 
 
 class KeyedCache:
-    """A thread-safe dict cache with hit/miss accounting."""
+    """A thread-safe dict cache with hit/miss accounting and LRU ordering.
+
+    The underlying dict is kept in recency order (hits and inserts move the
+    key to the end), so :meth:`export_entries` can apply an LRU-style size cap
+    when the caches are persisted to disk.
+    """
 
     _MISSING = object()
 
@@ -210,10 +244,12 @@ class KeyedCache:
                 self.stats.misses += 1
                 return False, None
             self.stats.hits += 1
+            self._data[key] = self._data.pop(key)  # mark most recently used
             return True, value
 
     def put(self, key: Hashable, value: object) -> None:
         with self._lock:
+            self._data.pop(key, None)  # re-inserting marks it most recently used
             self._data[key] = value
 
     def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
@@ -232,9 +268,22 @@ class KeyedCache:
             self._data.clear()
             self.stats = CacheStats()
 
-    def export_entries(self) -> dict[Hashable, object]:
-        """A shallow copy of the cached entries (for persistence snapshots)."""
+    def key_snapshot(self) -> set:
+        """The set of keys currently cached (used for shard-delta exports)."""
         with self._lock:
+            return set(self._data)
+
+    def export_entries(self, max_entries: int | None = None) -> dict[Hashable, object]:
+        """A shallow copy of the cached entries (for persistence snapshots).
+
+        ``max_entries`` keeps only the most recently used entries (the dict is
+        maintained in recency order); ``None`` or a non-positive value exports
+        everything.
+        """
+        with self._lock:
+            if max_entries is not None and 0 < max_entries < len(self._data):
+                keys = list(self._data)[-max_entries:]
+                return {key: self._data[key] for key in keys}
             return dict(self._data)
 
     def merge_entries(self, entries: Mapping[Hashable, object]) -> int:
@@ -320,10 +369,12 @@ def cached_baseline(context: Hashable, compute: Callable[[], float]) -> float:
 
 #: Version of the on-disk snapshot format *and* of the cache key schemas.
 #: Bump whenever a key or value type changes shape (e.g. a new field in
-#: ``TuneResult`` or an extra component in an evaluation context): loading
+#: ``TuneResult`` or an extra component in an evaluation context) *or* the
+#: meaning of a cached value changes (v3: trainings reseed the parameter
+#: init RNG per work item, so rewards are order-independent): loading
 #: ignores snapshots written under any other version, so stale entries can
 #: never alias fresh ones.
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 #: The caches that persist to disk.  The plan cache is deliberately absent:
 #: compiled plans are cheap to rebuild and full of numpy arrays, so they are
@@ -336,7 +387,7 @@ def cache_snapshot_filename() -> str:
     return f"evaluation-cache-v{CACHE_FORMAT_VERSION}.pkl"
 
 
-def save_caches(path: str) -> dict[str, int]:
+def save_caches(path: str, max_entries: int | None = None) -> dict[str, int]:
     """Persist every process-wide cache to ``path``; returns entries per cache.
 
     The snapshot is written atomically (temp file + rename) so an interrupted
@@ -346,12 +397,25 @@ def save_caches(path: str) -> dict[str, int]:
     raising.  With the caches disabled (``REPRO_EVAL_CACHE=0``) nothing is
     written — the in-memory caches are empty then, and overwriting would
     destroy a previous run's warm snapshot.
+
+    The snapshot is size-capped: each cache persists at most ``max_entries``
+    (default: :func:`cache_max_entries`, the ``REPRO_CACHE_MAX_ENTRIES`` knob)
+    of its most recently used entries, so the on-disk file stops growing once
+    a working set saturates instead of accumulating every key ever merged.
     """
     if not caches_enabled():
         return {}
+    cap = max_entries if max_entries is not None else cache_max_entries()
     caches: dict[str, dict] = {
-        cache.name: cache.export_entries() for cache in _ALL_CACHES
+        cache.name: cache.export_entries(max_entries=cap) for cache in _ALL_CACHES
     }
+    for cache in _ALL_CACHES:
+        dropped = len(cache) - len(caches[cache.name])
+        if dropped > 0:
+            log.info(
+                "snapshot cap: persisting %d/%d %s-cache entries (LRU eviction of %d)",
+                len(caches[cache.name]), len(cache), cache.name, dropped,
+            )
     payload = {"version": CACHE_FORMAT_VERSION, "caches": caches}
     try:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)

@@ -24,6 +24,7 @@ from repro.compiler.targets import HardwareTarget
 from repro.core.operator import SynthesizedOperator
 from repro.ir.variables import Variable
 from repro.nn.data import SyntheticImageDataset
+from repro.nn.layers import seed_all
 from repro.nn.models.common import ConvSlot
 from repro.nn.trainer import Trainer, TrainingConfig
 from repro.search.cache import (
@@ -105,6 +106,12 @@ class AccuracyEvaluator:
         self._context = ("accuracy", builder_module, builder_name, self.settings.cache_key())
 
     def _train(self, conv_factory) -> float:
+        # Each training run reseeds the substrate's parameter-initialization
+        # RNG, making the result a pure function of (builder, factory,
+        # settings) rather than of how many models were built earlier in the
+        # process.  This is what lets rewards be computed in any order, in
+        # any shard worker, and still agree bit-for-bit with a serial run.
+        seed_all(self.settings.dataset_seed)
         model = self.model_builder(conv_factory=conv_factory, image_size=self.settings.image_size,
                                    num_classes=self.settings.num_classes)
         trainer = Trainer(

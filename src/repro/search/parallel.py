@@ -1,0 +1,262 @@
+"""Sharded search execution with a deterministic merge (the scaling layer).
+
+MCTS reward waves, candidate evaluation and the experiment modules all reduce
+to the same shape of work: a list of *pure* work items (each a function of a
+small picklable description — an operator to proxy-train, a candidate to
+tune) whose results must come back in input order.  :func:`sharded_map` is
+the one primitive that fans such a list out over ``REPRO_SEARCH_SHARDS``
+worker processes:
+
+* **Deterministic partition** — item ``i`` always belongs to shard
+  ``i % shards``.  The partition depends on the shard count only, never on
+  worker availability, machine load or cache warmth.
+* **Deterministic merge** — results are reassembled in input order, and each
+  worker's freshly computed cache entries (reward / baseline / compile /
+  plan) are merged back into the parent's process-wide caches in shard
+  order.  Because every cached value is a pure function of its key, the merge
+  order cannot change any value — fixing it anyway makes the executor's
+  behaviour reproducible down to cache-iteration order.
+* **Serial equivalence** — with ``shards <= 1``, a single item, or no spare
+  cores, the map degrades to the plain in-process loop.  Results are
+  bit-identical either way: work items must not depend on process-global
+  mutable state, which is why the evaluators reseed the substrate's
+  parameter-initialization RNG per item (see
+  :meth:`repro.search.evaluator.AccuracyEvaluator._train`).
+
+Worker processes are forked (never spawned), so they inherit the parent's
+warm caches for free; the number of live workers is additionally capped by
+``os.cpu_count()`` — on a single-core machine a sharded run executes the
+serial path and pays zero fork overhead, while the *results* stay a pure
+function of the shard knob.  Any failure to fork or pickle falls back to the
+serial map, so callers never handle parallelism errors.
+
+:func:`sharded_reward_evaluator` adapts the primitive to the batched MCTS
+frontier (:meth:`repro.core.mcts.MCTS.run`'s ``evaluate_batch`` hook): one
+wave of pending ``(signature, operator)`` pairs in, a reward mapping out.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import multiprocessing
+import multiprocessing.pool
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping, Sequence, TypeVar
+
+from repro.search.cache import (
+    KeyedCache,
+    baseline_cache,
+    cached_reward,
+    caches_enabled,
+    compile_cache,
+    evaluation_processes,
+    plan_cache,
+    reward_cache,
+    search_shards,
+)
+
+log = logging.getLogger(__name__)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _mergeable_caches() -> dict[str, KeyedCache]:
+    """The caches whose worker-side entries are worth shipping back.
+
+    Rewards and baselines are the expensive ones (proxy training); compile
+    entries save re-tuning; plans are cheap to rebuild but cheap to ship, so
+    merging them saves the recompile on the next wave.
+    """
+    return {
+        "reward": reward_cache(),
+        "baseline": baseline_cache(),
+        "compile": compile_cache(),
+        "plan": plan_cache(),
+    }
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard worker sends back: its results plus its cache delta."""
+
+    results: list = field(default_factory=list)
+    cache_entries: dict[str, dict] = field(default_factory=dict)
+
+
+def warn_processes_ignored(shards: int, processes: int | None = None) -> None:
+    """Warn when sharded execution supersedes a requested process fan-out.
+
+    The older ``processes`` fan-out (``REPRO_EVAL_PROCESSES`` / explicit
+    argument) and sharding are mutually exclusive at a call site: sharding
+    wins.  Callers that take both knobs use this so the losing one is never
+    silently dead — whether it came from the argument or the environment.
+    """
+    effective = processes if processes is not None else evaluation_processes()
+    if effective > 1:
+        log.warning(
+            "sharded execution (shards=%d) takes precedence: ignoring processes=%d",
+            shards, effective,
+        )
+
+
+def shard_partition(count: int, shards: int) -> list[list[int]]:
+    """Item indices per shard: item ``i`` goes to shard ``i % shards``.
+
+    The strided assignment balances heavy-tailed work lists (neighbouring
+    items tend to cost alike) and is a pure function of ``(count, shards)``.
+    """
+    shards = max(shards, 1)
+    return [list(range(shard, count, shards)) for shard in range(shards)]
+
+
+def _picklable_entries(cache_name: str, entries: Mapping[Hashable, object]) -> dict:
+    """Drop entries that cannot cross the process boundary (best-effort)."""
+    picklable: dict[Hashable, object] = {}
+    for key, value in entries.items():
+        try:
+            pickle.dumps((key, value))
+        except Exception as exc:
+            log.debug("not shipping %s-cache entry %r back to parent: %s", cache_name, key, exc)
+        else:
+            picklable[key] = value
+    return picklable
+
+
+def _run_shard(payload: tuple[Callable, list]) -> ShardOutcome:
+    """Worker body: run one shard's items and capture the cache delta.
+
+    The worker forked with a copy of the parent's caches, so only entries
+    *added* while running this shard are exported — re-shipping the inherited
+    ones would be wasted pickling (the parent's merge skips present keys
+    anyway).
+    """
+    fn, items = payload
+    before = {name: cache.key_snapshot() for name, cache in _mergeable_caches().items()}
+    results = [fn(item) for item in items]
+    entries: dict[str, dict] = {}
+    if caches_enabled():
+        for name, cache in _mergeable_caches().items():
+            fresh = {
+                key: value
+                for key, value in cache.export_entries().items()
+                if key not in before[name]
+            }
+            if fresh:
+                entries[name] = _picklable_entries(name, fresh)
+    return ShardOutcome(results=results, cache_entries=entries)
+
+
+def merge_shard_caches(outcomes: Sequence[ShardOutcome]) -> dict[str, int]:
+    """Merge worker cache deltas into the parent, in shard order.
+
+    Returns entries added per cache.  Already-present keys are kept (the
+    parent's value is at least as fresh), mirroring :func:`load_caches`.
+    """
+    added: dict[str, int] = {}
+    caches = _mergeable_caches()
+    for outcome in outcomes:
+        for name, entries in outcome.cache_entries.items():
+            cache = caches.get(name)
+            if cache is not None and entries:
+                added[name] = added.get(name, 0) + cache.merge_entries(entries)
+    return added
+
+
+def sharded_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    shards: int | None = None,
+    max_workers: int | None = None,
+) -> list[R]:
+    """``[fn(x) for x in items]`` executed across shard worker processes.
+
+    ``shards`` defaults to the ``REPRO_SEARCH_SHARDS`` knob.  Results come
+    back in input order and each worker's freshly cached evaluations are
+    merged into the parent's caches (shard order), so a sharded run leaves
+    the parent process exactly as warm as the serial run would have.
+
+    ``max_workers`` bounds the live worker processes (default: the machine's
+    core count).  It changes scheduling only — the shard partition, and
+    therefore every result, is a pure function of ``shards``.
+    """
+    work = list(items)
+    count = shards if shards is not None else search_shards()
+    count = max(count, 1)
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = min(count, max(workers, 1), len(work))
+    if count <= 1 or len(work) <= 1 or workers <= 1:
+        return [fn(item) for item in work]
+    partitions = shard_partition(len(work), count)
+    payloads = [(fn, [work[index] for index in partition]) for partition in partitions]
+    try:
+        # Setup-only guard, like parallel_map: prove the payload can cross the
+        # process boundary and that fork exists.  Errors raised by ``fn``
+        # during the map are genuine work failures and propagate first-class.
+        pickle.dumps(fn)
+        pickle.dumps(work)
+        context = multiprocessing.get_context("fork")
+        pool = context.Pool(workers)
+    except Exception as exc:  # unpicklable payloads, missing fork, ...
+        log.warning("sharded execution unavailable (%s); falling back to serial", exc)
+        return [fn(item) for item in work]
+    try:
+        with pool:
+            outcomes = pool.map(_run_shard, payloads)
+    except multiprocessing.pool.MaybeEncodingError as exc:
+        # Results (not payloads) failed to cross back — parallelism is not
+        # possible for this fn, so the serial map is the correct degradation;
+        # exceptions raised by ``fn`` itself re-raise as themselves above.
+        log.warning("sharded results not picklable (%s); falling back to serial", exc)
+        return [fn(item) for item in work]
+    merged = merge_shard_caches(outcomes)
+    if merged:
+        log.info(
+            "merged shard caches: %s",
+            ", ".join(f"{name}+{added}" for name, added in sorted(merged.items())),
+        )
+    results: list = [None] * len(work)
+    for partition, outcome in zip(partitions, outcomes):
+        for index, result in zip(partition, outcome.results):
+            results[index] = result
+    return results
+
+
+# ---------------------------------------------------------------------------
+# MCTS reward waves
+# ---------------------------------------------------------------------------
+
+
+def _reward_worker(
+    reward_fn: Callable, context: Hashable, item: tuple[str, object]
+) -> float:
+    """Evaluate one pending (signature, operator) pair inside a shard."""
+    signature, operator = item
+    return cached_reward(context, signature, lambda: float(reward_fn(operator)))
+
+
+def sharded_reward_evaluator(
+    reward_fn: Callable,
+    context: Hashable,
+    shards: int | None = None,
+    max_workers: int | None = None,
+) -> Callable[[Sequence[tuple[str, object]]], dict[str, float]]:
+    """A batched reward evaluator for :meth:`repro.core.mcts.MCTS.run`.
+
+    Each MCTS wave's pending ``(signature, operator)`` pairs are fanned out
+    with :func:`sharded_map` and the resulting rewards returned as a mapping;
+    the per-worker reward caches (and any compile/plan entries the proxy
+    training produced) are merged back into the parent between waves.
+    ``reward_fn`` and the operators must be picklable — if not, the map falls
+    back to in-process evaluation, which is result-identical.
+    """
+
+    def evaluate(pending: Sequence[tuple[str, object]]) -> dict[str, float]:
+        worker = functools.partial(_reward_worker, reward_fn, context)
+        values = sharded_map(worker, list(pending), shards=shards, max_workers=max_workers)
+        return {signature: value for (signature, _), value in zip(pending, values)}
+
+    return evaluate

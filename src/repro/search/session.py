@@ -14,11 +14,18 @@ Evaluation work is shared through the process-wide caches in
 :mod:`repro.search.cache`: rewards are keyed by the accuracy evaluator's
 context (passed to MCTS as ``cache_context``), compilations by the program's
 structural key, and one latency evaluator is hoisted per (backend, target)
-pair so each baseline compiles exactly once per session.  Candidate latency
-evaluation optionally fans out over worker processes
-(``REPRO_EVAL_PROCESSES``); the experiment runner and CLI
-(:mod:`repro.experiments.runner`, :mod:`repro.cli`) persist those caches
-across processes.
+pair so each baseline compiles exactly once per session.
+
+Both halves of the session shard across worker processes under
+``SearchConfig.shards`` (default: the ``REPRO_SEARCH_SHARDS`` knob): MCTS
+reward waves go through :func:`repro.search.parallel.sharded_reward_evaluator`
+and candidate latency evaluation through
+:func:`repro.search.parallel.sharded_map`, with worker caches merged back
+deterministically — a sharded session's results are bit-identical to the
+serial ones.  Candidate latency evaluation can alternatively fan out through
+the older ``REPRO_EVAL_PROCESSES`` knob (which does not merge caches back);
+the experiment runner and CLI (:mod:`repro.experiments.runner`,
+:mod:`repro.cli`) persist the caches across processes.
 """
 
 from __future__ import annotations
@@ -32,8 +39,9 @@ from repro.compiler.targets import HardwareTarget, MOBILE_CPU
 from repro.core.enumeration import EnumerationOptions, default_options_for
 from repro.core.mcts import MCTS, MCTSConfig, SampleRecord
 from repro.core.operator import OperatorSpec, SynthesizedOperator
-from repro.search.cache import parallel_map
+from repro.search.cache import parallel_map, search_shards
 from repro.search.evaluator import AccuracyEvaluator, EvaluationSettings, LatencyEvaluator
+from repro.search.parallel import sharded_map, sharded_reward_evaluator, warn_processes_ignored
 from repro.search.extraction import (
     VISION_COEFFICIENTS,
     conv_spec_from_slots,
@@ -53,7 +61,19 @@ class SearchConfig:
     macs_budget_ratio: float = 1.0
     #: admissible accuracy loss relative to the baseline (the paper uses 1%).
     accuracy_margin: float = 0.01
+    #: MCTS frontier width: rollouts proposed per wave before rewards are
+    #: applied.  Fixed independently of the shard count so the search
+    #: trajectory is a function of the seed alone (shards only split a wave's
+    #: evaluations across workers).
+    frontier_width: int = 8
+    #: worker shards for reward waves and candidate evaluation; ``None``
+    #: inherits the ``REPRO_SEARCH_SHARDS`` environment knob.
+    shards: int | None = None
     evaluation: EvaluationSettings = field(default_factory=EvaluationSettings)
+
+    def effective_shards(self) -> int:
+        """The shard count this session runs with (config beats environment)."""
+        return max(self.shards, 1) if self.shards is not None else search_shards()
 
 
 @dataclass
@@ -117,33 +137,55 @@ class SearchSession:
         return options
 
     def run(self, iterations: int | None = None) -> list[CandidateResult]:
-        """Run the MCTS search and return accuracy-qualified candidates."""
+        """Run the MCTS search and return accuracy-qualified candidates.
+
+        Reward waves and candidate latency evaluation shard across
+        ``SearchConfig.shards`` worker processes (default: the
+        ``REPRO_SEARCH_SHARDS`` knob); the results are bit-identical to a
+        serial run with the same seed.
+        """
         options = self.enumeration_options()
+        # The bound method (not a lambda) so the reward function can cross
+        # the process boundary when reward waves are sharded.
+        reward_fn = self.accuracy_evaluator.evaluate
         search = MCTS(
             spec=self.spec,
             options=options,
-            reward_fn=lambda operator: self.accuracy_evaluator.evaluate(operator),
+            reward_fn=reward_fn,
             config=MCTSConfig(
                 iterations=iterations if iterations is not None else self.config.mcts_iterations,
                 seed=self.config.mcts_seed,
+                batch_size=max(self.config.frontier_width, 1),
                 # Share rewards with every search over the same backbone and
                 # evaluation settings (the evaluator's cache context).
                 cache_context=self.accuracy_evaluator._context,
             ),
         )
-        samples = search.run()
-        return self.evaluate_candidates(samples)
+        shards = self.config.effective_shards()
+        evaluate_batch = None
+        if shards > 1:
+            evaluate_batch = sharded_reward_evaluator(
+                reward_fn, self.accuracy_evaluator._context, shards=shards
+            )
+        samples = search.run(evaluate_batch=evaluate_batch)
+        return self.evaluate_candidates(samples, shards=shards)
 
     # -- evaluation ----------------------------------------------------------
 
     def evaluate_candidates(
-        self, samples: Sequence[SampleRecord], processes: int | None = None
+        self,
+        samples: Sequence[SampleRecord],
+        processes: int | None = None,
+        shards: int | None = None,
     ) -> list[CandidateResult]:
         """Latency-evaluate the accuracy-qualified samples.
 
-        ``processes`` (default: the ``REPRO_EVAL_PROCESSES`` environment knob)
-        opts into fanning the per-candidate evaluation out over worker
-        processes; the serial path additionally warms the process-wide caches.
+        ``shards`` (default: ``SearchConfig.shards``, falling back to the
+        ``REPRO_SEARCH_SHARDS`` knob) fans the per-candidate evaluation out
+        over shard worker processes and merges their compile-cache entries
+        back into this process.  ``processes`` (the older
+        ``REPRO_EVAL_PROCESSES`` knob) is honoured when sharding is off; its
+        workers' caches are discarded.
         """
         baseline = self.accuracy_evaluator.baseline_accuracy()
         qualified = [
@@ -153,9 +195,13 @@ class SearchSession:
         ]
         # ``partial`` keeps the session on the callable, so it crosses the
         # process boundary once per worker chunk instead of once per record.
-        results = parallel_map(
-            functools.partial(_evaluate_sample, self), qualified, processes=processes
-        )
+        worker = functools.partial(_evaluate_sample, self)
+        count = shards if shards is not None else self.config.effective_shards()
+        if count > 1:
+            warn_processes_ignored(count, processes)
+            results = sharded_map(worker, qualified, shards=count)
+        else:
+            results = parallel_map(worker, qualified, processes=processes)
         results.sort(key=lambda result: min(result.latencies.values(), default=float("inf")))
         return results
 

@@ -38,6 +38,7 @@ def test_run_args_map_onto_experiment_config():
             "--smoke",
             "--train-steps", "5",
             "--processes", "2",
+            "--shards", "4",
             "--seed", "3",
             "--option", "models=['resnet18']",
             "--option", "label=quick",
@@ -48,6 +49,7 @@ def test_run_args_map_onto_experiment_config():
         smoke=True,
         train_steps=5,
         processes=2,
+        shards=4,
         seed=3,
         options={"models": ["resnet18"], "label": "quick"},
     )
@@ -55,6 +57,7 @@ def test_run_args_map_onto_experiment_config():
         "REPRO_SMOKE": "1",
         "REPRO_TRAIN_STEPS": "5",
         "REPRO_EVAL_PROCESSES": "2",
+        "REPRO_SEARCH_SHARDS": "4",
     }
 
 
@@ -197,6 +200,43 @@ def test_cli_bench_writes_trajectory_and_enforces_threshold(tmp_path, capsys):
     # An absurd threshold turns the exit code into a CI failure.
     assert main(argv + ["--max-seconds", "0.0"]) == 1
     assert "exceeds the --max-seconds threshold" in capsys.readouterr().err
+
+
+def test_bench_all_sweeps_every_experiment_into_one_trajectory(tmp_path, monkeypatch, capsys):
+    """`repro bench --all` times every registered experiment into one file."""
+    # Shrink the registry to two cheap experiments so the sweep stays a unit test.
+    real_registry = runner_module._registry
+    small = {
+        name: spec
+        for name, spec in real_registry().items()
+        if name in ("ablation-materialization", "table3")
+    }
+    monkeypatch.setattr(runner_module, "_registry", lambda: small)
+
+    argv = [
+        "bench", "--all",
+        "--results-dir", str(tmp_path),
+        "--no-compare",
+        "--smoke",
+        "--shards", "2",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "benchmarking ablation-materialization" in out and "benchmarking table3" in out
+
+    payload = json.loads((tmp_path / "BENCH_all.json").read_text())
+    assert payload["experiment"] == "all"
+    assert [entry["experiment"] for entry in payload["entries"]] == [
+        "table3", "ablation-materialization",
+    ]
+    assert all(entry["config"]["shards"] == 2 for entry in payload["entries"])
+
+
+def test_bench_requires_an_experiment_or_all(capsys):
+    assert main(["bench"]) == 2
+    assert "required" in capsys.readouterr().err
+    assert main(["bench", "table3", "--all"]) == 2
+    assert "not both" in capsys.readouterr().err
 
 
 def test_cli_bench_compare_reports_speedup(tmp_path):

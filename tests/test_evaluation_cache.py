@@ -22,14 +22,17 @@ from repro.nn.models.resnet import resnet18
 from repro.search import SearchConfig, SearchSession
 from repro.search.cache import (
     KeyedCache,
+    cache_max_entries,
     cache_stats,
     cached_reward,
     caches_enabled,
     clear_caches,
     compile_cache,
     default_train_steps,
+    load_caches,
     parallel_map,
     reward_cache,
+    save_caches,
     smoke_mode,
 )
 from repro.search.evaluator import AccuracyEvaluator, EvaluationSettings
@@ -87,6 +90,52 @@ class TestKeyedCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats.lookups == 0
+
+
+class TestSnapshotEviction:
+    """The persisted snapshot is size-capped with LRU-style eviction."""
+
+    def test_export_keeps_the_most_recently_used_entries(self):
+        cache = KeyedCache("t")
+        for index in range(5):
+            cache.put(index, index)
+        cache.lookup(0)  # refresh: 0 is now the most recently used
+        exported = cache.export_entries(max_entries=3)
+        assert set(exported) == {3, 4, 0}
+        # The in-memory cache itself is never evicted.
+        assert len(cache) == 5
+
+    def test_export_without_cap_returns_everything(self):
+        cache = KeyedCache("t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.export_entries() == {"a": 1, "b": 2}
+        assert cache.export_entries(max_entries=0) == {"a": 1, "b": 2}
+
+    def test_save_caches_applies_the_cap_and_load_restores_survivors(self, tmp_path):
+        for index in range(6):
+            cached_reward("evict-ctx", f"sig{index}", lambda index=index: float(index))
+        cached_reward("evict-ctx", "sig1", lambda: -1.0)  # hit: refreshes sig1
+        path = tmp_path / "snapshot.pkl"
+        saved = save_caches(str(path), max_entries=3)
+        assert saved["reward"] == 3
+
+        clear_caches()
+        loaded = load_caches(str(path))
+        assert loaded["reward"] == 3
+        survivors = {
+            signature
+            for signature in (f"sig{index}" for index in range(6))
+            if ("evict-ctx", signature) in reward_cache()
+        }
+        assert survivors == {"sig1", "sig4", "sig5"}
+
+    def test_cap_knob_reads_environment(self, monkeypatch):
+        assert cache_max_entries() == 4096
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+        assert cache_max_entries() == 7
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "0")
+        assert cache_max_entries() == 0  # <= 0 disables the cap
 
 
 class TestRewardCacheAcrossRuns:
