@@ -9,7 +9,9 @@ because the quantity of interest is the experiment's *output*, not the
 harness's wall-clock time; the timing is still recorded by pytest-benchmark
 for regression tracking.
 
-Budget knobs (all flow through :mod:`repro.search.cache`):
+Budget knobs (fields of :class:`repro.runtime.RuntimeConfig`; setting the
+``REPRO_*`` environment variables here is the supported process-edge
+fallback, re-read by the ambient default context):
 
 * ``REPRO_SMOKE`` — defaults to ``1`` here so ``python -m pytest -x -q`` at
   the repo root finishes in minutes (fewer models/layers/samples, smaller

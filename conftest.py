@@ -11,3 +11,17 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    """The pytest process edge of the runtime API.
+
+    Builds the process-default :class:`repro.runtime.RuntimeContext` once via
+    ``RuntimeConfig.from_env()``.  Tests that steer knobs through
+    ``monkeypatch.setenv("REPRO_*", ...)`` keep working — the default
+    context's *config* is re-parsed when those variables change, while its
+    caches (and therefore cross-test warmth) persist.
+    """
+    from repro.runtime import default_context
+
+    default_context()

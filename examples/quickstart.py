@@ -86,8 +86,10 @@ def main() -> None:
 
     section("6. A paper experiment through the runner API (same path as `repro run`)")
     # No ad-hoc knob fiddling: ExperimentConfig carries smoke/train_steps/seed
-    # and the runner maps them onto the REPRO_* environment for the duration
-    # of the run.  Passing a store would persist the record like the CLI does.
+    # and the runner turns them into explicit overrides on a derived
+    # repro.runtime.RuntimeContext activated for the duration of the run (the
+    # record's environment captures the resolved config + provenance).
+    # Passing a store would persist the record like the CLI does.
     from repro.experiments.runner import ExperimentConfig, run_experiment
 
     outcome = run_experiment("ablation-materialization", ExperimentConfig())

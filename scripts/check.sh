@@ -13,6 +13,22 @@ RESULTS_DIR="$(mktemp -d)"
 export REPRO_RESULTS_DIR="$RESULTS_DIR"
 trap 'rm -rf "$RESULTS_DIR"' EXIT
 
+echo "== runtime guard: no REPRO_* env reads outside src/repro/runtime =="
+# Every REPRO_* knob must be parsed in exactly one place —
+# RuntimeConfig.from_env() in src/repro/runtime/ (the process edge).  Any
+# os.environ/os.getenv line mentioning a REPRO_* name elsewhere in src/
+# reintroduces the global-knob soup this guard exists to prevent.  (The
+# deprecation shims in src/repro/search/cache.py are covered too: they
+# delegate to the runtime package instead of reading the environment.)
+violations=$(grep -rnE 'os\.(environ|getenv)' src/repro --include='*.py' \
+  | grep -v '^src/repro/runtime/' | grep 'REPRO_' || true)
+if [ -n "$violations" ]; then
+  echo "FAIL: REPRO_* environment reads outside src/repro/runtime:" >&2
+  echo "$violations" >&2
+  exit 1
+fi
+echo "OK: environment knobs are confined to the runtime package"
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
@@ -49,7 +65,11 @@ PY
 
 echo "== sharded sweep: bench --all at 1 and 2 shards must agree =="
 # Every registered experiment, once per shard setting, into one trajectory
-# file per setting.  A tiny training budget keeps this a smoke test; what it
+# file per setting.  Since the RuntimeContext redesign this exercises the
+# explicit context path end to end: the CLI edge builds the context from the
+# environment, --shards becomes an explicit config override on a derived
+# context, and the sharded executor ships/bootstraps contexts in its forked
+# workers.  A tiny training budget keeps this a smoke test; what it
 # guards is (a) every experiment still runs under the sharded executor and
 # (b) the sharded sweep never costs *grossly* more than serial.  At smoke
 # scale the margin below is dominated by its absolute term, so this catches

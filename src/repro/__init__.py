@@ -2,6 +2,9 @@
 
 The package is organized as follows:
 
+* :mod:`repro.runtime` — the scoped runtime API: ``RuntimeConfig`` (typed
+  knobs with default/env/explicit provenance) and ``RuntimeContext`` (owns
+  the evaluation caches, the artifact store and the root RNG);
 * :mod:`repro.ir` — symbolic sizes, shapes and coordinate expressions;
 * :mod:`repro.core` — primitives, pGraphs, canonicalization, shape distance,
   guided enumeration and MCTS (the paper's contribution);

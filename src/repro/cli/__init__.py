@@ -6,8 +6,15 @@ Entry points:
   shared runner, persisting a :class:`repro.results.ResultRecord` and the
   evaluation-cache snapshot into the artifact store.
 * ``repro report`` — render stored runs into a markdown or CSV summary.
-* ``repro cache`` — show in-process and persisted cache statistics.
+* ``repro cache`` — show in-process and persisted cache statistics, including
+  the last snapshot load/save status.
 * ``repro list`` — list runnable experiments and stored runs.
+* ``repro config`` — print the resolved :class:`repro.runtime.RuntimeConfig`
+  as a table (value + provenance: default/env/flag), or ``--json``.
+
+``main()`` is a process edge of the runtime API: it parses the ``REPRO_*``
+environment exactly once (``RuntimeConfig.from_env``) into an explicit
+:class:`repro.runtime.RuntimeContext` that scopes the whole command.
 
 Installed as a console script by ``setup.py``; also runnable without
 installation as ``python -m repro.cli`` from a source checkout (with ``src``

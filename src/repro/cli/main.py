@@ -2,11 +2,15 @@
 
 The CLI is a thin shell over three layers that do the real work:
 
+* :mod:`repro.runtime` — ``main()`` is a process edge: it calls
+  ``RuntimeConfig.from_env()`` exactly once, builds a
+  :class:`~repro.runtime.RuntimeContext` and activates it around the
+  command; flags become explicit config overrides on derived contexts;
 * :mod:`repro.experiments.runner` — maps an :class:`ExperimentConfig` onto
-  the experiment's ``run()`` and the ``REPRO_*`` environment knobs;
-* :mod:`repro.results` — the artifact store that records land in;
-* :mod:`repro.search.cache` — the process-wide caches, snapshotted to disk
-  around every run so repeated invocations reuse each other's work.
+  the experiment's ``run()`` under a derived runtime context;
+* :mod:`repro.results` — the artifact store that records land in, with the
+  context's cache snapshot loaded/saved around every run so repeated
+  invocations reuse each other's work.
 
 ``config_from_args`` is deliberately a pure function of the parsed arguments
 so the flag → config mapping is unit-testable without running anything.
@@ -27,19 +31,17 @@ from pathlib import Path
 
 from repro.experiments.runner import (
     ExperimentConfig,
-    applied_env,
     experiment_descriptions,
     experiment_names,
     run_experiment,
 )
 from repro.results import ArtifactStore, ResultRecord
-from repro.search.cache import (
-    cache_sizes,
-    cache_stats,
-    clear_caches,
-    compute_dtype_name,
-    load_caches,
-    save_caches,
+from repro.runtime import (
+    ENV_KNOBS,
+    RuntimeConfig,
+    RuntimeContext,
+    current,
+    default_context,
 )
 
 log = logging.getLogger(__name__)
@@ -132,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--no-compare",
         action="store_true",
-        help="skip the REPRO_COMPILED_FORWARD=0 REPRO_DTYPE=float64 reference leg",
+        help="skip the eager-interpreter float64 reference leg",
     )
     bench.add_argument(
         "--max-seconds",
@@ -158,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = subparsers.add_parser("list", help="list experiments and stored runs")
     lister.add_argument("--results-dir", help="artifact store root")
+
+    show = subparsers.add_parser(
+        "config", help="print the resolved runtime configuration and its provenance"
+    )
+    show.add_argument("--json", action="store_true", help="machine-readable output")
     return parser
 
 
@@ -193,8 +200,16 @@ def config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     )
 
 
+def _command_runtime(args: argparse.Namespace) -> RuntimeContext:
+    """The context a command runs under: the edge context, re-rooted by flags."""
+    results_dir = getattr(args, "results_dir", None)
+    if results_dir:
+        return current().derive(results_dir=str(results_dir))
+    return current()
+
+
 def _store(args: argparse.Namespace) -> ArtifactStore:
-    return ArtifactStore(getattr(args, "results_dir", None))
+    return _command_runtime(args).store
 
 
 # ---------------------------------------------------------------------------
@@ -203,34 +218,34 @@ def _store(args: argparse.Namespace) -> ArtifactStore:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    store = _store(args)
+    runtime = _command_runtime(args)
+    store = runtime.store
     config = config_from_args(args)
     persist = not args.no_cache_persist
 
     if persist:
-        loaded = load_caches(str(store.cache_path))
-        if any(loaded.values()):
-            print(
-                "loaded cache snapshot:",
-                ", ".join(f"{name}={count}" for name, count in sorted(loaded.items())),
-            )
+        status = runtime.load_caches(str(store.cache_path))
+        if status.status == "loaded" and any(status.entries.values()):
+            print(f"cache snapshot {status.summary()}")
+        elif not status.ok:
+            # Version mismatch or corruption: the run proceeds cold, but say
+            # so instead of silently retraining everything.
+            print(f"cache snapshot {status.summary()}", file=sys.stderr)
 
     def _save_snapshot() -> None:
         if not persist:
             return
-        saved = save_caches(str(store.cache_path))
-        if saved:
-            print(
-                f"cache snapshot saved to {store.cache_path}:",
-                ", ".join(f"{name}={count}" for name, count in sorted(saved.items())),
-            )
+        status = runtime.save_caches(str(store.cache_path))
+        if status.status == "saved":
+            print(f"cache snapshot saved to {store.cache_path}: {status.summary()}")
         else:
-            # Caches disabled (REPRO_EVAL_CACHE=0) or the write failed —
-            # save_caches already logged the details; don't claim success.
-            print("cache snapshot not written")
+            # Caches disabled or the write failed — the status (and the log)
+            # carry the details; don't claim success.
+            print(f"cache snapshot not written ({status.summary()})")
 
     try:
-        outcome = run_experiment(args.experiment, config, store=store)
+        with runtime.activate(adopt=False):
+            outcome = run_experiment(args.experiment, config, store=store)
     except KeyboardInterrupt:
         # The partial record (status=interrupted) was already stored by the
         # runner; persisting the caches makes the rerun skip finished work.
@@ -281,23 +296,29 @@ def _format_cache_delta(cache_deltas: dict) -> str:
 # ---------------------------------------------------------------------------
 
 
-def _bench_leg(experiment: str, config: ExperimentConfig, repeats: int, overrides: dict) -> dict:
-    """Time ``repeats`` cold runs of one experiment under extra env overrides.
+def _bench_leg(
+    experiment: str, config: ExperimentConfig, repeats: int, overrides: dict
+) -> dict:
+    """Time ``repeats`` cold runs of one experiment under config overrides.
 
-    Every repeat starts from cleared in-memory caches and nothing is loaded
-    from or saved to the persisted snapshot, so the wall-clock numbers measure
-    real training/tuning work rather than cache state.
+    ``overrides`` are explicit :class:`~repro.runtime.RuntimeConfig` fields
+    (the reference leg pins ``compiled_forward``/``dtype``), applied by
+    activating a context derived from the ambient one.  Every repeat starts
+    from cleared in-memory caches and nothing is loaded from or saved to the
+    persisted snapshot, so the wall-clock numbers measure real
+    training/tuning work rather than cache state.
     """
     times: list[float] = []
     cache_activity: list[dict] = []
-    with applied_env(overrides):
+    runtime = current().derive(**overrides) if overrides else current()
+    with runtime.activate(adopt=False):
         for _ in range(repeats):
-            clear_caches()
+            runtime.caches.clear()
             start = time.perf_counter()
             outcome = run_experiment(experiment, config, store=None)
             times.append(round(time.perf_counter() - start, 3))
             cache_activity.append(outcome.record.cache_stats)
-    clear_caches()
+        runtime.caches.clear()
     return {
         "times_seconds": times,
         "mean_seconds": round(sum(times) / len(times), 3),
@@ -343,7 +364,7 @@ def _bench_one(experiment: str, config, repeats: int, no_compare: bool, dtype: s
             experiment,
             config,
             repeats,
-            {"REPRO_COMPILED_FORWARD": "0", "REPRO_DTYPE": "float64"},
+            {"compiled_forward": False, "dtype": "float64"},
         )
         speedup = round(
             reference["mean_seconds"] / max(compiled["mean_seconds"], 1e-9), 3
@@ -383,8 +404,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("bench: an experiment name (or --all) is required", file=sys.stderr)
         return 2
 
-    with applied_env(config.env_overrides()):
-        dtype = compute_dtype_name()
+    dtype = current().config.with_overrides(**config.runtime_overrides()).dtype_name()
 
     trajectory = "all" if args.all_experiments else args.experiment
     output = Path(args.output) if args.output else store.root / f"BENCH_{trajectory}.json"
@@ -417,11 +437,15 @@ def _record_shards(record: ResultRecord) -> str:
 
     The runner deliberately nulls ``config["shards"]`` before fingerprinting
     (shards never change results, so they must not change record identity);
-    ``REPRO_SEARCH_SHARDS`` in the record's environment is the one place the
-    count survives.  Rendering it next to the fingerprint is what makes
+    the resolved runtime config in the record's environment is the one place
+    the count survives.  Rendering it next to the fingerprint is what makes
     serial/sharded parity auditable from `repro report`: a sharded run of the
     same experiment must show the same metrics as its serial sibling.
     """
+    runtime = record.environment.get("runtime")
+    if isinstance(runtime, dict) and runtime.get("shards") is not None:
+        return str(runtime["shards"])
+    # Records written before the runtime API captured raw REPRO_* values.
     shards = record.environment.get("REPRO_SEARCH_SHARDS")
     return str(shards) if shards is not None else "1"
 
@@ -507,10 +531,11 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    store = _store(args)
+    runtime = _command_runtime(args)
+    store = runtime.store
     path = store.cache_path
     if args.clear:
-        clear_caches()
+        runtime.caches.clear()
         if path.exists():
             path.unlink()
             print(f"deleted {path}")
@@ -518,18 +543,22 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 0
 
     if path.exists():
-        loaded = load_caches(str(path))
+        status = runtime.load_caches(str(path))
         size_kib = path.stat().st_size / 1024
         print(f"persisted snapshot: {path} ({size_kib:.1f} KiB)")
-        for name, count in sorted(cache_sizes().items()):
-            print(f"  {name:10s} {count} entries ({loaded.get(name, 0)} loaded just now)")
+        print(f"load status: {status.summary()}")
+        for name, count in sorted(runtime.caches.sizes().items()):
+            print(f"  {name:10s} {count} entries ({status.entries.get(name, 0)} loaded just now)")
     else:
         print(f"persisted snapshot: {path} (absent — run an experiment first)")
 
-    stats = cache_stats()
+    stats = runtime.caches.stats()
     print("this process:", _format_cache_delta(
         {name: {"hits": s.hits, "misses": s.misses} for name, s in stats.items()}
     ))
+    save_status = runtime.caches.last_save
+    if save_status is not None:
+        print(f"last save: {save_status.summary()}")
 
     recent = store.list_runs()[-5:]
     if recent:
@@ -567,6 +596,35 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro config
+# ---------------------------------------------------------------------------
+
+
+def render_config(config: RuntimeConfig) -> str:
+    """The resolved runtime configuration as an aligned value/provenance table."""
+    values = config.describe()
+    provenance = config.provenance_map()
+    rows = [("field", "value", "provenance", "env fallback")]
+    for name in values:
+        rows.append((name, str(values[name]), provenance[name], ENV_KNOBS[name]))
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def cmd_config(args: argparse.Namespace) -> int:
+    config = current().config
+    if args.json:
+        payload = {"runtime": config.describe(), "provenance": config.provenance_map()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_config(config))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -580,8 +638,16 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "cache": cmd_cache,
         "list": cmd_list,
+        "config": cmd_config,
     }
-    return handlers[args.command](args)
+    # The CLI entry is a process edge: REPRO_* variables are read exactly
+    # once, into one explicit context that scopes the whole command.  The
+    # edge context shares the process-default CacheSet so sharded workers
+    # inherit the warm caches through fork (config-only shipping) instead of
+    # pickling the whole set into every shard payload.
+    edge = RuntimeContext(RuntimeConfig.from_env(), caches=default_context().caches)
+    with edge.activate(adopt=False):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via `python -m repro.cli`

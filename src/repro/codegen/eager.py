@@ -36,18 +36,18 @@ class LoweringError(RuntimeError):
     """Raised when a pGraph cannot be lowered to eager tensor operations."""
 
 
-# Bound lazily on first use: importing repro.search at module scope would
-# cycle back through search.__init__ -> substitution -> this module.
-_compiled_forward_resolver = None
+# Bound lazily on first use: importing repro.runtime at module scope would
+# pull configuration machinery into every lowering import.
+_runtime_resolver = None
 
 
 def _compiled_forward_enabled() -> bool:
-    global _compiled_forward_resolver
-    if _compiled_forward_resolver is None:
-        from repro.search.cache import compiled_forward_enabled
+    global _runtime_resolver
+    if _runtime_resolver is None:
+        from repro.runtime import current
 
-        _compiled_forward_resolver = compiled_forward_enabled
-    return _compiled_forward_resolver()
+        _runtime_resolver = current
+    return _runtime_resolver().config.compiled_forward
 
 
 class _PlanBackward:

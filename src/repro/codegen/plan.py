@@ -783,13 +783,18 @@ def plan_cache_key(operator: SynthesizedOperator, binding: Mapping[Variable, int
 
 
 def cached_plan(
-    operator: SynthesizedOperator, binding: Mapping[Variable, int]
+    operator: SynthesizedOperator, binding: Mapping[Variable, int], runtime=None
 ) -> ExecutionPlan:
-    """The process-wide compiled plan for ``(operator, binding)``."""
+    """The compiled plan for ``(operator, binding)``, memoized per context.
+
+    ``runtime`` is the :class:`~repro.runtime.RuntimeContext` whose plan
+    cache is used; ``None`` resolves the ambient context.
+    """
     # Lazy import: repro.search.__init__ pulls in codegen via substitution, so
     # a module-level import here would cycle.
-    from repro.search.cache import plan_cache
+    from repro.runtime import current
 
-    return plan_cache().get_or_compute(
+    context = runtime if runtime is not None else current()
+    return context.cached_plan(
         plan_cache_key(operator, binding), lambda: compile_plan(operator, binding)
     )

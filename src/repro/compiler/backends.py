@@ -44,12 +44,12 @@ class TuneResult:
 class CompilerBackend:
     """Interface shared by the two compiler personalities.
 
-    ``compile`` is memoized through the process-wide compile cache: tuning is
-    a pure function of (backend configuration, program, target), and both the
-    search loop and the experiment harness compile the same loop nests over
-    and over (identical slots repeat within and across backbone profiles).
-    Backends implement ``_compile_uncached``; anything that changes tuning
-    results must be reflected in ``config_key``.
+    ``compile`` is memoized through the runtime context's compile cache:
+    tuning is a pure function of (backend configuration, program, target),
+    and both the search loop and the experiment harness compile the same loop
+    nests over and over (identical slots repeat within and across backbone
+    profiles).  Backends implement ``_compile_uncached``; anything that
+    changes tuning results must be reflected in ``config_key``.
     """
 
     name = "base"
@@ -58,13 +58,21 @@ class CompilerBackend:
         """Hashable description of every knob that affects compile results."""
         return (self.name,)
 
-    def compile(self, program: LoopNestProgram, target: HardwareTarget) -> TuneResult:
+    def compile(
+        self, program: LoopNestProgram, target: HardwareTarget, runtime=None
+    ) -> TuneResult:
+        """Tune ``program`` for ``target``, memoized in the context's compile cache.
+
+        ``runtime`` is the :class:`~repro.runtime.RuntimeContext` to cache
+        into; ``None`` resolves the ambient context.
+        """
         # Imported lazily: repro.search re-exports modules that import this
         # one, so a module-level import would form a cycle.
-        from repro.search.cache import compile_cache
+        from repro.runtime import current
 
+        context = runtime if runtime is not None else current()
         key = (self.config_key(), program.structural_key(), target)
-        return compile_cache().get_or_compute(
+        return context.cached_compile(
             key, lambda: self._compile_uncached(program, target)
         )
 

@@ -139,6 +139,9 @@ class MCTS:
     options: EnumerationOptions
     reward_fn: RewardFn
     config: MCTSConfig = field(default_factory=MCTSConfig)
+    #: runtime context whose reward cache serial evaluation uses; ``None``
+    #: resolves the ambient context (:func:`repro.runtime.current`) per wave.
+    runtime: object | None = None
 
     def __post_init__(self) -> None:
         self._rng = random.Random(self.config.seed)
@@ -147,7 +150,7 @@ class MCTS:
         self._iteration = 0
         #: rewards already recorded by THIS search: deduplicates samples and
         #: keeps within-run memoization unconditional (even with the
-        #: process-wide caches disabled via REPRO_EVAL_CACHE=0).
+        #: context's caches disabled via ``RuntimeConfig.eval_cache=False``).
         self._local_rewards: dict[str, float] = {}
         #: reward-cache context; private to the instance unless configured.
         self._context: Hashable = (
@@ -245,16 +248,17 @@ class MCTS:
     def _evaluate_wave(
         self, wave: Sequence[PendingRollout], evaluate_batch: BatchEvaluator | None
     ) -> Mapping[str, float]:
-        from repro.search.cache import cached_reward  # lazy: avoids an import cycle
+        from repro.runtime import current  # lazy: avoids an import cycle
 
         pending = self.pending_evaluations(wave)
         if not pending:
             return {}
         if evaluate_batch is not None:
             return dict(evaluate_batch(pending))
+        runtime = self.runtime if self.runtime is not None else current()
         rewards: dict[str, float] = {}
         for signature, operator in pending:
-            rewards[signature] = cached_reward(
+            rewards[signature] = runtime.cached_reward(
                 self._context,
                 signature,
                 lambda operator=operator: float(self.reward_fn(operator)),

@@ -10,6 +10,7 @@ compute.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
@@ -21,7 +22,8 @@ from repro.core.library import GROUPS, K1, SHRINK, build_operator1, build_operat
 from repro.core.operator import SynthesizedOperator
 from repro.ir.variables import Variable
 from repro.nn.models.common import ConvSlot
-from repro.search.cache import parallel_map, search_shards, tuning_trials
+from repro.runtime import RuntimeContext, current
+from repro.search.cache import parallel_map, tuning_trials
 from repro.search.evaluator import LatencyEvaluator
 from repro.search.parallel import sharded_map, warn_processes_ignored
 
@@ -89,30 +91,40 @@ def evaluate_model(
     batch: int = 1,
     processes: int | None = None,
     shards: int | None = None,
+    runtime: RuntimeContext | None = None,
 ) -> ModelEvaluation:
     """Latency of the baseline model and of every candidate substitution.
 
-    ``shards`` (default: the ``REPRO_SEARCH_SHARDS`` environment knob) fans
-    the per-candidate tuning out over shard worker processes and merges their
-    compile-cache entries back into this process.  With sharding off,
-    ``processes`` (the older ``REPRO_EVAL_PROCESSES`` knob) still opts into
-    the cache-discarding parallel map; the serial default warms the
-    process-wide compile cache directly.
+    ``runtime`` is the :class:`~repro.runtime.RuntimeContext` evaluated
+    under (``None`` resolves the ambient context); ``shards`` (default: the
+    context's ``shards`` field) fans the per-candidate tuning out over shard
+    worker processes and merges their compile-cache entries back into the
+    context.  With sharding off, ``processes`` (the older ``eval_processes``
+    fan-out) still opts into the cache-discarding parallel map; the serial
+    default warms the context's compile cache directly.
     """
-    baseline_evaluator = LatencyEvaluator(slots=slots, backend=backend, target=target, batch=batch)
-    evaluation = ModelEvaluation(
-        model=model,
-        backend=backend.name,
-        target=target.name,
-        baseline_ms=baseline_evaluator.baseline_latency() * 1e3,
-    )
-    worker = functools.partial(_candidate_latency_ms, tuple(slots), backend, target, batch)
-    count = shards if shards is not None else search_shards()
-    if count > 1:
-        warn_processes_ignored(count, processes)
-        latencies = sharded_map(worker, candidates, shards=count)
-    else:
-        latencies = parallel_map(worker, candidates, processes=processes)
+    context = runtime if runtime is not None else current()
+    # The whole evaluation runs under the context so nested ambient lookups
+    # (plan compilation, dtype resolution) land in the same CacheSet the
+    # threaded `runtime` argument targets.
+    scope = runtime.activate() if runtime is not None else contextlib.nullcontext()
+    with scope:
+        baseline_evaluator = LatencyEvaluator(
+            slots=slots, backend=backend, target=target, batch=batch, runtime=runtime
+        )
+        evaluation = ModelEvaluation(
+            model=model,
+            backend=backend.name,
+            target=target.name,
+            baseline_ms=baseline_evaluator.baseline_latency() * 1e3,
+        )
+        worker = functools.partial(_candidate_latency_ms, tuple(slots), backend, target, batch)
+        count = shards if shards is not None else max(context.config.shards, 1)
+        if count > 1:
+            warn_processes_ignored(count, processes, runtime=runtime)
+            latencies = sharded_map(worker, candidates, shards=count, runtime=runtime)
+        else:
+            latencies = parallel_map(worker, candidates, processes=processes)
     for candidate, latency_ms in zip(candidates, latencies):
         evaluation.candidate_ms[candidate.name] = latency_ms
     return evaluation

@@ -10,10 +10,12 @@ module-level ``run()`` function it has always had, plus a small metrics
 extractor that flattens the experiment's result dataclass into the record's
 ``metrics`` dict.  Configuration flows two ways:
 
-* **Environment knobs** — ``smoke``/``train_steps``/``processes`` map onto
-  ``REPRO_SMOKE``/``REPRO_TRAIN_STEPS``/``REPRO_EVAL_PROCESSES``, which every
-  experiment already reads through :mod:`repro.search.cache`.  The overrides
-  are applied for the duration of the run and restored afterwards.
+* **Runtime overrides** — ``smoke``/``train_steps``/``processes``/``shards``
+  become explicit field overrides on a :class:`repro.runtime.RuntimeContext`
+  *derived* from the ambient one (same warm caches, new frozen config) and
+  activated for the duration of the run.  The resolved config and its
+  per-field provenance (default/env/explicit) are captured into the record's
+  ``environment`` — replacing the old raw ``REPRO_*`` env capture.
 * **Keyword options** — ``seed`` and any per-experiment ``options`` (e.g.
   ``models=["resnet18"]`` for figure5) are passed straight to the
   experiment's ``run()``, filtered to the parameters it actually accepts.
@@ -45,21 +47,9 @@ from repro.results.records import (
     sanitize_metrics,
 )
 from repro.results.store import ArtifactStore
-from repro.search.cache import cache_stats
+from repro.runtime import RuntimeConfig, RuntimeContext, current
 
 log = logging.getLogger(__name__)
-
-#: The REPRO_* knobs captured into every record's ``environment`` field.
-_KNOBS = (
-    "REPRO_SMOKE",
-    "REPRO_TRAIN_STEPS",
-    "REPRO_EVAL_PROCESSES",
-    "REPRO_SEARCH_SHARDS",
-    "REPRO_EVAL_CACHE",
-    "REPRO_RESULTS_DIR",
-    "REPRO_DTYPE",
-    "REPRO_COMPILED_FORWARD",
-)
 
 
 @dataclass
@@ -108,8 +98,33 @@ class ExperimentConfig:
             options=dict(payload.get("options") or {}),
         )
 
+    def runtime_overrides(self) -> dict:
+        """The :class:`~repro.runtime.RuntimeConfig` fields this config pins.
+
+        The runner applies these with ``RuntimeContext.derive`` — an explicit,
+        frozen config for the duration of the run, sharing the ambient
+        context's warm caches.
+        """
+        overrides: dict = {}
+        if self.smoke is not None:
+            overrides["smoke"] = self.smoke
+        if self.train_steps is not None:
+            overrides["train_steps"] = self.train_steps
+        if self.processes is not None:
+            overrides["eval_processes"] = self.processes
+        if self.shards is not None:
+            overrides["shards"] = self.shards
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        return overrides
+
     def env_overrides(self) -> dict[str, str]:
-        """The ``REPRO_*`` variables this config pins while the run executes."""
+        """Legacy ``REPRO_*`` form of :meth:`runtime_overrides`.
+
+        Kept for external callers that still pin the environment (the
+        supported compatibility edge); the runner itself now derives an
+        explicit runtime context instead.
+        """
         overrides: dict[str, str] = {}
         if self.smoke is not None:
             overrides["REPRO_SMOKE"] = "1" if self.smoke else "0"
@@ -335,12 +350,25 @@ def get_experiment(name: str) -> ExperimentSpec:
 # ---------------------------------------------------------------------------
 
 
+def runtime_environment(config: RuntimeConfig) -> dict:
+    """What a record's ``environment`` field holds: resolved config + provenance.
+
+    ``environment["runtime"]`` maps every config field to its resolved value
+    and ``environment["provenance"]`` to where that value came from
+    (``default`` / ``env`` / ``explicit``) — replacing the raw ``REPRO_*``
+    capture of earlier record versions.
+    """
+    return {"runtime": config.describe(), "provenance": config.provenance_map()}
+
+
 @contextmanager
 def applied_env(overrides: Mapping[str, str]):
     """Temporarily pin environment variables, restoring the old values after.
 
-    Public because ``repro bench`` uses it to pin the reference leg's
-    ``REPRO_COMPILED_FORWARD``/``REPRO_DTYPE`` knobs around a timed run.
+    This is the compatibility edge for callers that still steer through
+    ``REPRO_*`` variables (the ambient default context re-reads them); new
+    code should derive and activate a :class:`~repro.runtime.RuntimeContext`
+    instead.
     """
     saved = {name: os.environ.get(name) for name in overrides}
     os.environ.update(overrides)
@@ -422,44 +450,52 @@ def run_experiment(
         key: value for key, value in applied_config["options"].items() if key not in dropped
     }
 
+    # Derive the run's runtime context from the ambient one: an explicit,
+    # frozen config (field overrides tagged "explicit") over the *same* warm
+    # caches — cache keys already encode every knob that affects a cached
+    # value, so sharing is safe and keeps repeated runs cheap.
+    runtime = current().derive(**config.runtime_overrides())
+
     record = ResultRecord(
         run_id=_new_run_id(name),
         experiment=name,
         status=STATUS_FAILED,
         config=applied_config,
+        environment=runtime_environment(runtime.config),
         # Microsecond resolution: the store orders runs by started_at, and
         # back-to-back runs of a fast experiment can land in the same second.
         started_at=datetime.now(timezone.utc).isoformat(timespec="microseconds"),
     )
-    stats_before = cache_stats()
+    stats_before = runtime.caches.stats()
     start = time.perf_counter()
     try:
-        with applied_env(config.env_overrides()):
-            record.environment = {
-                knob: os.environ[knob] for knob in _KNOBS if knob in os.environ
-            }
+        # adopt=False: the runner activates on behalf of its caller, who may
+        # be a pure env-var user — this must not arm the env deprecation.
+        with runtime.activate(adopt=False):
             result = spec.runner(**kwargs)
     except BaseException as exc:
         interrupted = isinstance(exc, KeyboardInterrupt)
         record.status = STATUS_INTERRUPTED if interrupted else STATUS_FAILED
         record.error = f"{type(exc).__name__}: {exc}"
-        _finalize(record, stats_before, start)
+        _finalize(record, runtime, stats_before, start)
         if store is not None:
             store.save(record)
         raise
     record.status = STATUS_COMPLETED
     record.metrics = sanitize_metrics(spec.metrics(result))
     record.table = result.to_table() if hasattr(result, "to_table") else ""
-    _finalize(record, stats_before, start)
+    _finalize(record, runtime, stats_before, start)
     if store is not None:
         store.save(record)
     return RunOutcome(record=record, result=result)
 
 
-def _finalize(record: ResultRecord, stats_before: dict, start: float) -> None:
+def _finalize(
+    record: ResultRecord, runtime: RuntimeContext, stats_before: dict, start: float
+) -> None:
     record.finished_at = datetime.now(timezone.utc).isoformat(timespec="microseconds")
     record.duration_seconds = round(time.perf_counter() - start, 3)
-    record.cache_stats = _stats_delta(stats_before, cache_stats())
+    record.cache_stats = _stats_delta(stats_before, runtime.caches.stats())
 
 
 def make_run_record(name: str):

@@ -18,24 +18,26 @@ import numpy as np
 
 _GRAD_ENABLED = True
 
-# Bound lazily on first use: importing repro.search at module scope would
-# cycle back through search.__init__ -> substitution -> codegen -> nn.
-_dtype_name_resolver = None
+# Bound lazily on first use: importing repro.runtime at module scope would
+# make every tensor import pull in the configuration machinery.
+_runtime_resolver = None
 
 
 def compute_dtype() -> np.dtype:
-    """The numpy dtype every tensor allocation uses (the ``REPRO_DTYPE`` knob).
+    """The numpy dtype every tensor allocation uses.
 
-    Resolved per call so the experiment runner's environment overrides take
-    effect immediately; see :func:`repro.search.cache.compute_dtype_name` for
-    the default (float32 under ``REPRO_SMOKE``, float64 otherwise).
+    Resolved per call from the ambient :class:`repro.runtime.RuntimeContext`
+    (``RuntimeConfig.dtype``: float32 under smoke, float64 otherwise; the
+    ``REPRO_DTYPE`` variable remains the edge-of-process fallback).  Because
+    activation is per-thread, two concurrently active contexts with different
+    dtypes each get their own allocations.
     """
-    global _dtype_name_resolver
-    if _dtype_name_resolver is None:
-        from repro.search.cache import compute_dtype_name
+    global _runtime_resolver
+    if _runtime_resolver is None:
+        from repro.runtime import current
 
-        _dtype_name_resolver = compute_dtype_name
-    return np.dtype(_dtype_name_resolver())
+        _runtime_resolver = current
+    return np.dtype(_runtime_resolver().config.dtype_name())
 
 
 @contextlib.contextmanager

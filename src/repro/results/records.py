@@ -76,7 +76,11 @@ class ResultRecord:
         this run — a second run over a warm cache shows up here as hits
         without misses.
     environment:
-        The ``REPRO_*`` knob values in effect while the experiment ran.
+        The resolved :class:`repro.runtime.RuntimeConfig` the experiment ran
+        under (``environment["runtime"]``: field -> value) plus each field's
+        provenance (``environment["provenance"]``: default/env/explicit).
+        Records written before the runtime API held raw ``REPRO_*`` values
+        here instead; readers fall back accordingly.
     error:
         Exception summary for interrupted/failed runs, else empty.
     """

@@ -25,18 +25,26 @@ import os
 from pathlib import Path
 
 from repro.results.records import ResultRecord
-from repro.search.cache import cache_snapshot_filename
+from repro.runtime.caches import cache_snapshot_filename
 
 log = logging.getLogger(__name__)
 
-#: Environment knob naming the store root; relative paths are allowed.
+#: Environment knob naming the store root at the process edge; inside the
+#: process the root travels as ``RuntimeConfig.results_dir``.
 RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
 DEFAULT_RESULTS_DIR = "results"
 
 
 def default_results_dir() -> Path:
-    """The store root from ``REPRO_RESULTS_DIR`` (default ``./results``)."""
-    return Path(os.environ.get(RESULTS_DIR_ENV) or DEFAULT_RESULTS_DIR)
+    """The ambient context's store root (default ``./results``).
+
+    Resolved through :func:`repro.runtime.current`, so the
+    ``REPRO_RESULTS_DIR`` variable keeps working as the edge-of-process
+    fallback while explicit contexts carry their own ``results_dir``.
+    """
+    from repro.runtime import current  # lazy: repro.runtime loads this module
+
+    return Path(current().config.results_dir)
 
 
 class ArtifactStore:

@@ -1,0 +1,64 @@
+"""The explicit, scoped runtime API (config + caches + store + RNG).
+
+This package replaces the historical soup of ``REPRO_*`` environment reads
+and module-global caches with two objects:
+
+* :class:`RuntimeConfig` — a frozen, typed snapshot of every knob (dtype,
+  budgets, shard counts, cache policy, results dir, seed), each field
+  tagged with its provenance (``default`` / ``env`` / ``explicit``).
+  :meth:`RuntimeConfig.from_env` is the *only* place ``REPRO_*`` variables
+  are read, called once at each process edge (CLI entry, pytest bootstrap,
+  sharded-worker bootstrap).
+* :class:`RuntimeContext` — owns a :class:`CacheSet` (the reward / baseline
+  / compile / plan caches plus snapshot persistence), the artifact store and
+  the root RNG.  Thread it explicitly (``SearchSession(..., runtime=ctx)``),
+  or scope it ambiently with ``with ctx.activate():`` — two contexts with
+  different configs run concurrently in one process with fully isolated
+  caches.
+
+:func:`current` resolves the ambient context (innermost activation, falling
+back to the env-derived process default), which is what the deprecation
+shims in :mod:`repro.search.cache` delegate to.
+"""
+
+from repro.runtime.caches import (
+    CACHE_FORMAT_VERSION,
+    CacheSet,
+    CacheStats,
+    KeyedCache,
+    SnapshotStatus,
+    cache_snapshot_filename,
+)
+from repro.runtime.config import (
+    ENV_KNOBS,
+    PROVENANCE_DEFAULT,
+    PROVENANCE_ENV,
+    PROVENANCE_EXPLICIT,
+    RuntimeConfig,
+    env_int,
+    explicit_context_seen,
+    note_explicit_context,
+    reset_deprecation_warnings,
+)
+from repro.runtime.context import RuntimeContext, current, default_context
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheSet",
+    "CacheStats",
+    "ENV_KNOBS",
+    "KeyedCache",
+    "PROVENANCE_DEFAULT",
+    "PROVENANCE_ENV",
+    "PROVENANCE_EXPLICIT",
+    "RuntimeConfig",
+    "RuntimeContext",
+    "SnapshotStatus",
+    "cache_snapshot_filename",
+    "current",
+    "default_context",
+    "env_int",
+    "explicit_context_seen",
+    "note_explicit_context",
+    "reset_deprecation_warnings",
+]

@@ -1,0 +1,254 @@
+"""`RuntimeContext`: the explicit, scoped owner of caches, store and RNG.
+
+A :class:`RuntimeContext` bundles everything that used to be process-global
+state: a frozen :class:`~repro.runtime.config.RuntimeConfig`, a
+:class:`~repro.runtime.caches.CacheSet` (reward/baseline/compile/plan), the
+:class:`~repro.results.ArtifactStore` rooted at the config's results
+directory, and a root RNG seeded from the config.  Two contexts with
+different dtypes, budgets or shard counts coexist in one process with fully
+isolated caches — the property every future scaling direction (multi-host
+sharding, async serving, shared pools) builds on.
+
+Resolution rules:
+
+* **Explicit beats ambient** — APIs take an optional ``runtime`` argument;
+  passing a context always wins.
+* **Ambient** — :func:`current` returns the innermost context activated via
+  ``with ctx.activate():`` (a :mod:`contextvars` variable, so concurrent
+  threads each see their own activation).
+* **Edge fallback** — with nothing active, :func:`current` returns the
+  process-default context, whose config is (re)parsed from the ``REPRO_*``
+  environment.  This is the compatibility edge for code and tests that still
+  steer through environment variables; after the process has activated an
+  explicit context, fallback env reads emit a ``DeprecationWarning`` once
+  per knob.
+
+Contexts are picklable (config + caches; the store and RNG are recreated
+lazily), which is how the sharded executor boots a worker: the context is
+shipped into the forked process, activated there, and its cache deltas are
+merged back into the parent — replacing the old implicit env inheritance.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+from typing import TYPE_CHECKING, Any, Hashable, Callable, Iterator, TypeVar
+
+from repro.runtime.caches import CacheSet, SnapshotStatus
+from repro.runtime.config import ENV_KNOBS, RuntimeConfig, note_explicit_context
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.results.store import ArtifactStore
+
+T = TypeVar("T")
+
+_ACTIVE: contextvars.ContextVar["RuntimeContext | None"] = contextvars.ContextVar(
+    "repro-runtime-context", default=None
+)
+
+
+class RuntimeContext:
+    """One scoped runtime: config + caches + artifact store + root RNG."""
+
+    def __init__(
+        self,
+        config: RuntimeConfig | None = None,
+        caches: CacheSet | None = None,
+        store: "ArtifactStore | None" = None,
+    ) -> None:
+        self.config = config if config is not None else RuntimeConfig()
+        self.caches = caches if caches is not None else CacheSet()
+        self._store = store
+        self._rng = None
+
+    def __getstate__(self) -> dict:
+        # The store and RNG are recreated lazily on the other side; config and
+        # caches are the identity of the context.
+        return {"config": self.config, "caches": self.caches}
+
+    def __setstate__(self, state: dict) -> None:
+        self.config = state["config"]
+        self.caches = state["caches"]
+        self._store = None
+        self._rng = None
+
+    def __repr__(self) -> str:
+        tag = "default" if self is _DEFAULT else "explicit"
+        return (
+            f"RuntimeContext({tag}, dtype={self.config.dtype_name()}, "
+            f"smoke={self.config.smoke}, shards={self.config.shards}, "
+            f"caches={self.caches.sizes()})"
+        )
+
+    # -- owned resources -----------------------------------------------------
+
+    @property
+    def store(self) -> "ArtifactStore":
+        """The artifact store rooted at ``config.results_dir`` (created lazily)."""
+        if self._store is None:
+            from repro.results.store import ArtifactStore  # lazy: avoids a cycle
+
+            self._store = ArtifactStore(self.config.results_dir)
+        return self._store
+
+    @property
+    def rng(self):
+        """The context's root numpy RNG, seeded from ``config.seed``."""
+        if self._rng is None:
+            import numpy as np  # lazy: keep the runtime package import-light
+
+            self._rng = np.random.default_rng(self.config.seed)
+        return self._rng
+
+    # -- scoping -------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def activate(self, adopt: bool = True) -> Iterator["RuntimeContext"]:
+        """Make this context the ambient one within the ``with`` block.
+
+        Activation is per-thread (a :mod:`contextvars` variable): two threads
+        can each activate a different context and run concurrently with zero
+        cache cross-talk.  Activating a non-default context marks the process
+        as having adopted the explicit API, which arms the env-var
+        deprecation warnings — except with ``adopt=False``, used by the
+        machinery that activates contexts *on behalf of* possibly env-driven
+        callers (the experiment runner, the CLI edge, shard workers): those
+        activations must not turn a pure env-var user's steering into a
+        warning.
+        """
+        if adopt and self is not _DEFAULT:
+            note_explicit_context()
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    def derive(self, **overrides: Any) -> "RuntimeContext":
+        """A context with overridden config but **shared** caches and store.
+
+        This is what the experiment runner uses per run: budgets change, the
+        warm caches stay (cache keys already encode every knob that affects a
+        cached value, so sharing is safe).  Overriding ``results_dir`` drops
+        the materialized store so the derived context re-roots it.
+        """
+        store = None if "results_dir" in overrides else self._store
+        return RuntimeContext(
+            self.config.with_overrides(**overrides), caches=self.caches, store=store
+        )
+
+    def isolated(self, **overrides: Any) -> "RuntimeContext":
+        """A context with overridden config and **fresh, empty** caches."""
+        return RuntimeContext(self.config.with_overrides(**overrides))
+
+    # -- cache operations ----------------------------------------------------
+
+    def cached_reward(
+        self, context: Hashable, signature: str, compute: Callable[[], float]
+    ) -> float:
+        """The reward of one candidate under one evaluation context, computed once."""
+        return self.caches.reward.get_or_compute(
+            (context, signature), compute, enabled=self.config.eval_cache
+        )
+
+    def cached_baseline(self, context: Hashable, compute: Callable[[], T]) -> T:
+        """A baseline (unsubstituted) metric under one context, computed once."""
+        return self.caches.baseline.get_or_compute(
+            context, compute, enabled=self.config.eval_cache
+        )
+
+    def cached_compile(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """A ``TuneResult`` for one (backend config, program, target) key."""
+        return self.caches.compile_.get_or_compute(
+            key, compute, enabled=self.config.eval_cache
+        )
+
+    def cached_plan(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """A compiled execution plan for one (signature, binding, shapes) key."""
+        return self.caches.plan.get_or_compute(
+            key, compute, enabled=self.config.eval_cache
+        )
+
+    # -- snapshot persistence ------------------------------------------------
+
+    def snapshot_path(self) -> str:
+        """Where this context's cache snapshot lives (inside the store)."""
+        return str(self.store.cache_path)
+
+    def save_caches(
+        self, path: str | None = None, max_entries: int | None = None
+    ) -> SnapshotStatus:
+        """Persist this context's caches (default path: the store's snapshot)."""
+        cap = max_entries if max_entries is not None else self.config.cache_max_entries
+        return self.caches.save_snapshot(
+            path if path is not None else self.snapshot_path(),
+            max_entries=cap,
+            enabled=self.config.eval_cache,
+        )
+
+    def load_caches(self, path: str | None = None) -> SnapshotStatus:
+        """Merge a persisted snapshot into this context's caches."""
+        return self.caches.load_snapshot(
+            path if path is not None else self.snapshot_path(),
+            enabled=self.config.eval_cache,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ambient resolution
+# ---------------------------------------------------------------------------
+
+_DEFAULT: RuntimeContext | None = None
+_DEFAULT_ENV_SNAPSHOT: tuple | None = None
+
+
+_ENV_VARIABLES = tuple(ENV_KNOBS.values())
+#: CPython's posix os.environ keeps encoded keys in ``_data``; going through
+#: that dict directly turns the per-call snapshot into plain dict lookups.
+#: This sits on the ambient hot path (every ``current()`` with no activation,
+#: i.e. every tensor allocation's dtype resolution), so the ~10x matters.
+_ENV_VARIABLES_RAW = tuple(os.environ.encodekey(v) for v in _ENV_VARIABLES) if hasattr(
+    os.environ, "encodekey"
+) else None
+
+
+def _env_snapshot() -> tuple:
+    data = getattr(os.environ, "_data", None)
+    if data is not None and _ENV_VARIABLES_RAW is not None:
+        return tuple(data.get(variable) for variable in _ENV_VARIABLES_RAW)
+    return tuple(os.environ.get(variable) for variable in _ENV_VARIABLES)
+
+
+def default_context() -> RuntimeContext:
+    """The process-default context (config parsed from the environment).
+
+    The context object — and crucially its :class:`CacheSet` — is created
+    once per process; only the *config* is re-parsed when the relevant
+    ``REPRO_*`` variables change, so environment-driven code (the historical
+    API, still used by tests via ``monkeypatch.setenv``) sees knob changes
+    immediately without ever losing cache warmth.
+    """
+    global _DEFAULT, _DEFAULT_ENV_SNAPSHOT
+    snapshot = _env_snapshot()
+    if _DEFAULT is None:
+        # First build = the process edge; reading the environment here is the
+        # supported path and never warns.
+        _DEFAULT = RuntimeContext(RuntimeConfig.from_env())
+        _DEFAULT_ENV_SNAPSHOT = snapshot
+    elif snapshot != _DEFAULT_ENV_SNAPSHOT:
+        # A REPRO_* variable changed *mid-process*.  That is the deprecated
+        # steering pattern once the process has adopted explicit contexts, so
+        # this refresh is the one place the fallback warning can fire.
+        _DEFAULT.config = RuntimeConfig.from_env(warn_on_fallback=True)
+        _DEFAULT._store = None  # results_dir may have changed
+        _DEFAULT._rng = None  # seed may have changed
+        _DEFAULT_ENV_SNAPSHOT = snapshot
+    return _DEFAULT
+
+
+def current() -> RuntimeContext:
+    """The ambient context: innermost activation, else the process default."""
+    context = _ACTIVE.get()
+    return context if context is not None else default_context()

@@ -1,77 +1,76 @@
-"""Process-wide evaluation-reuse subsystem.
+"""Compatibility shims over the scoped runtime API (:mod:`repro.runtime`).
 
-Search and the experiment harness are dominated by two repeated costs:
+This module used to own the process-wide evaluation caches and the ten-odd
+``REPRO_*`` environment knobs.  Both now live on an explicit, scoped
+:class:`~repro.runtime.RuntimeContext`; everything below is a thin
+deprecation shim that delegates to the *ambient* context
+(:func:`repro.runtime.current`) so the historical call signatures keep
+working:
 
-* **proxy training** — substituting a candidate operator into a backbone and
-  training it for a handful of steps (the reward of Algorithm 1), and
-* **compiler tuning** — sweeping the schedule space of a loop-nest program
-  for one hardware target.
+* knob readers (``smoke_mode``, ``default_train_steps``, ``search_shards``,
+  ``compute_dtype_name``, ...) read the ambient context's
+  :class:`~repro.runtime.RuntimeConfig`.  With no context activated, that is
+  the process-default context whose config is re-parsed from the ``REPRO_*``
+  environment — the compatibility edge.  Once a process has activated an
+  explicit context, env-fallback reads emit a ``DeprecationWarning`` once
+  per knob.
+* cache accessors (``reward_cache``, ``compile_cache``, ``baseline_cache``,
+  ``plan_cache``) return the ambient context's
+  :class:`~repro.runtime.CacheSet` members, and ``save_caches`` /
+  ``load_caches`` / ``clear_caches`` / ``cache_stats`` / ``cache_sizes``
+  operate on that same set.
 
-Both are pure functions of small, hashable descriptions (the canonical pGraph
-signature plus the evaluation context; the loop-nest program plus the backend
-configuration and target), so this module provides process-wide caches for
-them:
-
-``reward_cache()``
-    rewards (proxy-training accuracies) keyed by ``(context, signature)``.
-    The *context* captures everything besides the operator that influences
-    the reward — backbone builder, training budget, dataset seed — so
-    distinct experiments never alias each other's rewards.
-
-``compile_cache()``
-    :class:`~repro.compiler.backends.TuneResult` values keyed by
-    ``(backend config, program, target)``.  Shared by every
-    ``CompilerBackend.compile`` call in the process.
-
-``baseline_cache()``
-    baseline (unsubstituted) accuracies and latencies keyed by the evaluation
-    context, so sessions and experiments compute each baseline exactly once.
-
-The caches are also **persistent**: :func:`save_caches` snapshots them to a
-versioned pickle file and :func:`load_caches` merges such a snapshot back into
-the running process, so repeated invocations of the same experiment (e.g. two
-``repro run figure5 --smoke`` commands in fresh processes) reuse each other's
-training and tuning work.  The experiment runner CLI wires this up around
-every run; see :mod:`repro.cli` and :mod:`repro.results`.
-
-The module also hosts the run-budget knobs that the caches interact with:
-
-* ``REPRO_TRAIN_STEPS`` — proxy-training step budget (read by
-  :class:`repro.search.evaluator.EvaluationSettings`).
-* ``REPRO_SMOKE`` — when ``1``, experiments shrink their workloads (fewer
-  models / layers / samples, smaller tuning budgets) so the full benchmark
-  suite completes in minutes.  The benchmark conftest turns this on by
-  default; export ``REPRO_SMOKE=0`` for full-fidelity runs.
-* ``REPRO_EVAL_PROCESSES`` — opt-in process count for
-  :func:`parallel_map`, used by candidate evaluation fan-out.
-* ``REPRO_SEARCH_SHARDS`` — shard count for the sharded search executor
-  (:mod:`repro.search.parallel`): MCTS reward waves, candidate evaluation
-  and the experiments' work items fan out over forked workers whose cache
-  entries merge back deterministically.  Results are bit-identical at any
-  shard count.
-* ``REPRO_CACHE_MAX_ENTRIES`` — per-cache size cap of the persisted
-  snapshot (LRU-style eviction at save time; ``0`` disables).
-* ``REPRO_EVAL_CACHE`` — ``0`` disables the in-process caches (A/B timing
-  and stale-cache debugging; results are identical either way).
-* ``REPRO_RESULTS_DIR`` — root of the on-disk artifact store (default
-  ``./results``); the persisted cache snapshot lives under it at
-  ``cache/evaluation-cache-v<N>.pkl``.  The directory itself is owned by
-  :class:`repro.results.ArtifactStore`; this module only reads and writes
-  the snapshot paths it is handed.
-
-Everything here is stdlib-only and import-light so the compiler, the search
-core and the experiment harness can all depend on it without cycles.
+New code should take a ``runtime`` argument (or call
+``repro.runtime.current()`` once) instead of importing from here; see
+``docs/architecture.md``.  :func:`parallel_map` — the legacy opt-in
+process fan-out for candidate evaluation — still lives here.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
-import os
 import pickle
-import threading
-from dataclasses import dataclass
-from typing import Callable, Hashable, Iterable, Mapping, Sequence, TypeVar
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
+
+from repro.runtime import (
+    CACHE_FORMAT_VERSION,
+    CacheStats,
+    KeyedCache,
+    cache_snapshot_filename,
+    current,
+    env_int,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "KeyedCache",
+    "baseline_cache",
+    "cache_max_entries",
+    "cache_sizes",
+    "cache_snapshot_filename",
+    "cache_stats",
+    "cached_baseline",
+    "cached_reward",
+    "caches_enabled",
+    "clear_caches",
+    "compile_cache",
+    "compiled_forward_enabled",
+    "compute_dtype_name",
+    "default_train_steps",
+    "env_int",
+    "evaluation_processes",
+    "load_caches",
+    "parallel_map",
+    "plan_cache",
+    "reward_cache",
+    "save_caches",
+    "search_shards",
+    "smoke_mode",
+    "smoke_value",
+    "tuning_trials",
+]
 
 log = logging.getLogger(__name__)
 
@@ -80,272 +79,115 @@ R = TypeVar("R")
 
 
 # ---------------------------------------------------------------------------
-# Environment knobs
+# Knob shims (formerly direct environment reads)
 # ---------------------------------------------------------------------------
 
 
-def env_int(name: str, default: int) -> int:
-    """An integer environment knob; malformed values fall back to the default."""
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        return int(raw)
-    except ValueError:
-        log.warning("ignoring malformed %s=%r (expected an integer)", name, raw)
-        return default
-
-
 def smoke_mode() -> bool:
-    """Whether the fast-path budget (``REPRO_SMOKE=1``) is active."""
-    return os.environ.get("REPRO_SMOKE", "0") not in ("", "0", "false", "no")
+    """Whether the ambient context runs the fast-path (smoke) budget."""
+    return current().config.smoke
 
 
 def default_train_steps(full: int = 40, smoke: int = 8) -> int:
-    """The proxy-training step budget.
-
-    ``REPRO_TRAIN_STEPS`` always wins; otherwise smoke mode shrinks the
-    default so benchmark runs stay within their timeout.
-    """
-    return env_int("REPRO_TRAIN_STEPS", smoke if smoke_mode() else full)
+    """The ambient proxy-training step budget (explicit steps beat smoke/full)."""
+    return current().config.resolve_train_steps(full=full, smoke=smoke)
 
 
 def tuning_trials(full: int, smoke: int | None = None) -> int:
-    """The schedule-tuning trial budget, shrunk under ``REPRO_SMOKE=1``."""
-    if not smoke_mode():
-        return full
-    return smoke if smoke is not None else max(full // 3, 8)
+    """The schedule-tuning trial budget, shrunk under smoke mode."""
+    return current().config.tuning_trials(full, smoke)
 
 
 def smoke_value(full: T, smoke: T) -> T:
     """Pick between the full-fidelity and smoke-budget value of a knob."""
-    return smoke if smoke_mode() else full
+    return current().config.smoke_value(full, smoke)
 
 
 def evaluation_processes() -> int:
     """Worker-process count for parallel candidate evaluation (default: serial)."""
-    return max(env_int("REPRO_EVAL_PROCESSES", 1), 1)
+    return max(current().config.eval_processes, 1)
 
 
 def search_shards() -> int:
-    """Shard count for sharded search execution (``REPRO_SEARCH_SHARDS``).
+    """Shard count for sharded search execution (1 = serial).
 
     Read by :func:`repro.search.parallel.sharded_map` and everything built on
-    it (the MCTS reward waves, candidate evaluation, the experiment modules).
-    ``1`` (the default) is the serial path; results are bit-identical at any
-    shard count — sharding only changes *where* the work runs.
+    it; results are bit-identical at any shard count — sharding only changes
+    *where* the work runs.
     """
-    return max(env_int("REPRO_SEARCH_SHARDS", 1), 1)
+    return max(current().config.shards, 1)
 
 
 def cache_max_entries() -> int:
-    """Per-cache size cap of the persisted snapshot (``REPRO_CACHE_MAX_ENTRIES``).
-
-    The in-memory caches are unbounded (a process's working set is naturally
-    limited by its run), but the on-disk snapshot would otherwise grow with
-    every merge across runs.  At save time each cache keeps only its most
-    recently used entries up to this cap.  Values ``<= 0`` disable the cap.
-    """
-    return env_int("REPRO_CACHE_MAX_ENTRIES", 4096)
+    """Per-cache size cap of the persisted snapshot (``<= 0`` disables)."""
+    return current().config.cache_max_entries
 
 
 def caches_enabled() -> bool:
-    """Whether the process-wide caches are active (``REPRO_EVAL_CACHE=0`` disables).
+    """Whether the ambient context's caches are active.
 
     Disabling is meant for A/B timing and for debugging suspected stale-cache
     issues; results must be identical either way because every cached value
     is a pure function of its key.
     """
-    return os.environ.get("REPRO_EVAL_CACHE", "1") not in ("", "0", "false", "no")
-
-
-_VALID_DTYPES = ("float32", "float64")
+    return current().config.eval_cache
 
 
 def compute_dtype_name() -> str:
-    """The compute dtype of the training substrate, as a dtype name.
-
-    ``REPRO_DTYPE`` always wins; otherwise smoke runs default to ``float32``
-    (halving memory bandwidth on the einsum-heavy proxy-training loop) and
-    full-fidelity runs keep ``float64``.  The name (not a numpy dtype) lives
-    here so this module stays stdlib-only; :func:`repro.nn.tensor.compute_dtype`
-    resolves it to the numpy dtype every array allocation uses.
-    """
-    raw = os.environ.get("REPRO_DTYPE")
-    if raw:
-        name = raw.strip().lower()
-        if name in _VALID_DTYPES:
-            return name
-        log.warning("ignoring malformed REPRO_DTYPE=%r (expected float32/float64)", raw)
-    return "float32" if smoke_mode() else "float64"
+    """The ambient compute dtype name (float32 under smoke, float64 otherwise)."""
+    return current().config.dtype_name()
 
 
 def compiled_forward_enabled() -> bool:
-    """Whether lowered operators run through compiled execution plans.
-
-    ``REPRO_COMPILED_FORWARD=0`` is the escape hatch that keeps the original
-    per-call eager interpreter (:meth:`EagerOperator.forward`'s primitive walk)
-    for A/B timing; results must match the plan to numerical tolerance.
-    """
-    return os.environ.get("REPRO_COMPILED_FORWARD", "1") not in ("", "0", "false", "no")
+    """Whether lowered operators run through compiled execution plans."""
+    return current().config.compiled_forward
 
 
 # ---------------------------------------------------------------------------
-# Caches
+# Cache shims (formerly module-global KeyedCaches)
 # ---------------------------------------------------------------------------
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss counters of one cache."""
-
-    hits: int = 0
-    misses: int = 0
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
-
-    def snapshot(self) -> "CacheStats":
-        return CacheStats(hits=self.hits, misses=self.misses)
-
-
-class KeyedCache:
-    """A thread-safe dict cache with hit/miss accounting and LRU ordering.
-
-    The underlying dict is kept in recency order (hits and inserts move the
-    key to the end), so :meth:`export_entries` can apply an LRU-style size cap
-    when the caches are persisted to disk.
-    """
-
-    _MISSING = object()
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self.stats = CacheStats()
-        self._data: dict[Hashable, object] = {}
-        self._lock = threading.Lock()
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
-
-    def lookup(self, key: Hashable) -> tuple[bool, object]:
-        """``(found, value)`` for ``key``, updating the hit/miss counters."""
-        with self._lock:
-            value = self._data.get(key, self._MISSING)
-            if value is self._MISSING:
-                self.stats.misses += 1
-                return False, None
-            self.stats.hits += 1
-            self._data[key] = self._data.pop(key)  # mark most recently used
-            return True, value
-
-    def put(self, key: Hashable, value: object) -> None:
-        with self._lock:
-            self._data.pop(key, None)  # re-inserting marks it most recently used
-            self._data[key] = value
-
-    def get_or_compute(self, key: Hashable, compute: Callable[[], T]) -> T:
-        """Cached value for ``key``, computing (outside the lock) on a miss."""
-        if not caches_enabled():
-            return compute()
-        found, value = self.lookup(key)
-        if found:
-            return value  # type: ignore[return-value]
-        result = compute()
-        self.put(key, result)
-        return result
-
-    def clear(self) -> None:
-        with self._lock:
-            self._data.clear()
-            self.stats = CacheStats()
-
-    def key_snapshot(self) -> set:
-        """The set of keys currently cached (used for shard-delta exports)."""
-        with self._lock:
-            return set(self._data)
-
-    def export_entries(self, max_entries: int | None = None) -> dict[Hashable, object]:
-        """A shallow copy of the cached entries (for persistence snapshots).
-
-        ``max_entries`` keeps only the most recently used entries (the dict is
-        maintained in recency order); ``None`` or a non-positive value exports
-        everything.
-        """
-        with self._lock:
-            if max_entries is not None and 0 < max_entries < len(self._data):
-                keys = list(self._data)[-max_entries:]
-                return {key: self._data[key] for key in keys}
-            return dict(self._data)
-
-    def merge_entries(self, entries: Mapping[Hashable, object]) -> int:
-        """Insert entries that are not already cached; returns how many were added.
-
-        In-process values win over persisted ones: an entry computed in this
-        process is at least as fresh as anything on disk.
-        """
-        added = 0
-        with self._lock:
-            for key, value in entries.items():
-                if key not in self._data:
-                    self._data[key] = value
-                    added += 1
-        return added
-
-
-_REWARD_CACHE = KeyedCache("reward")
-_COMPILE_CACHE = KeyedCache("compile")
-_BASELINE_CACHE = KeyedCache("baseline")
-_PLAN_CACHE = KeyedCache("plan")
 
 
 def reward_cache() -> KeyedCache:
-    """The process-wide reward cache keyed by ``(context, pGraph signature)``."""
-    return _REWARD_CACHE
+    """The ambient reward cache keyed by ``(context, pGraph signature)``."""
+    return current().caches.reward
 
 
 def compile_cache() -> KeyedCache:
-    """The process-wide compile cache keyed by ``(backend config, program, target)``."""
-    return _COMPILE_CACHE
+    """The ambient compile cache keyed by ``(backend config, program, target)``."""
+    return current().caches.compile_
 
 
 def baseline_cache() -> KeyedCache:
-    """The process-wide baseline accuracy/latency cache keyed by context."""
-    return _BASELINE_CACHE
+    """The ambient baseline accuracy/latency cache keyed by context."""
+    return current().caches.baseline
 
 
 def plan_cache() -> KeyedCache:
-    """The process-wide compiled-execution-plan cache.
+    """The ambient compiled-execution-plan cache.
 
     Keyed by ``(pGraph signature, input assignment, binding, concrete
     shapes)`` — see :func:`repro.codegen.plan.cached_plan`, which owns key
     construction.  Plans hold numpy index arrays and contraction paths, and
     are cheap to recompile, so unlike the other caches they are *not*
-    persisted to disk — only memoized per process.
+    persisted to disk — only memoized per context.
     """
-    return _PLAN_CACHE
+    return current().caches.plan
 
 
 def clear_caches() -> None:
-    """Drop every cached evaluation (used by tests and long-running services)."""
-    for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE, _PLAN_CACHE):
-        cache.clear()
+    """Drop every cached evaluation of the ambient context."""
+    current().caches.clear()
 
 
 def cache_stats() -> dict[str, CacheStats]:
-    """Snapshot of every cache's counters, keyed by cache name."""
-    return {
-        cache.name: cache.stats.snapshot()
-        for cache in (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE, _PLAN_CACHE)
-    }
+    """Snapshot of the ambient caches' counters, keyed by cache name."""
+    return current().caches.stats()
+
+
+def cache_sizes() -> dict[str, int]:
+    """Current entry count of the ambient caches, keyed by cache name."""
+    return current().caches.sizes()
 
 
 def cached_reward(context: Hashable, signature: str, compute: Callable[[], float]) -> float:
@@ -355,133 +197,39 @@ def cached_reward(context: Hashable, signature: str, compute: Callable[[], float
     the reward (backbone, training budget, dataset seed); ``signature`` is the
     operator's canonical pGraph signature.
     """
-    return _REWARD_CACHE.get_or_compute((context, signature), compute)
+    return current().cached_reward(context, signature, compute)
 
 
-def cached_baseline(context: Hashable, compute: Callable[[], float]) -> float:
+def cached_baseline(context: Hashable, compute: Callable[[], T]) -> T:
     """A baseline (unsubstituted) metric under one context, computed once."""
-    return _BASELINE_CACHE.get_or_compute(context, compute)
+    return current().cached_baseline(context, compute)
 
 
 # ---------------------------------------------------------------------------
-# Disk persistence
+# Disk persistence shims
 # ---------------------------------------------------------------------------
-
-#: Version of the on-disk snapshot format *and* of the cache key schemas.
-#: Bump whenever a key or value type changes shape (e.g. a new field in
-#: ``TuneResult`` or an extra component in an evaluation context) *or* the
-#: meaning of a cached value changes (v3: trainings reseed the parameter
-#: init RNG per work item, so rewards are order-independent): loading
-#: ignores snapshots written under any other version, so stale entries can
-#: never alias fresh ones.
-CACHE_FORMAT_VERSION = 3
-
-#: The caches that persist to disk.  The plan cache is deliberately absent:
-#: compiled plans are cheap to rebuild and full of numpy arrays, so they are
-#: memoized per process only.
-_ALL_CACHES = (_REWARD_CACHE, _COMPILE_CACHE, _BASELINE_CACHE)
-
-
-def cache_snapshot_filename() -> str:
-    """Basename of the persisted snapshot (the key version is part of the name)."""
-    return f"evaluation-cache-v{CACHE_FORMAT_VERSION}.pkl"
 
 
 def save_caches(path: str, max_entries: int | None = None) -> dict[str, int]:
-    """Persist every process-wide cache to ``path``; returns entries per cache.
+    """Persist the ambient context's caches to ``path``; returns entries per cache.
 
-    The snapshot is written atomically (temp file + rename) so an interrupted
-    run never leaves a truncated file behind.  Persistence is best-effort and
-    never fails an experiment: entries whose key or value cannot be pickled
-    are skipped with a warning, and an unwritable destination logs instead of
-    raising.  With the caches disabled (``REPRO_EVAL_CACHE=0``) nothing is
-    written — the in-memory caches are empty then, and overwriting would
-    destroy a previous run's warm snapshot.
-
-    The snapshot is size-capped: each cache persists at most ``max_entries``
-    (default: :func:`cache_max_entries`, the ``REPRO_CACHE_MAX_ENTRIES`` knob)
-    of its most recently used entries, so the on-disk file stops growing once
-    a working set saturates instead of accumulating every key ever merged.
+    Thin wrapper over :meth:`repro.runtime.RuntimeContext.save_caches`, which
+    returns a structured :class:`~repro.runtime.SnapshotStatus`; this shim
+    keeps the historical "entries per cache, empty on failure/disabled" shape.
     """
-    if not caches_enabled():
-        return {}
-    cap = max_entries if max_entries is not None else cache_max_entries()
-    caches: dict[str, dict] = {
-        cache.name: cache.export_entries(max_entries=cap) for cache in _ALL_CACHES
-    }
-    for cache in _ALL_CACHES:
-        dropped = len(cache) - len(caches[cache.name])
-        if dropped > 0:
-            log.info(
-                "snapshot cap: persisting %d/%d %s-cache entries (LRU eviction of %d)",
-                len(caches[cache.name]), len(cache), cache.name, dropped,
-            )
-    payload = {"version": CACHE_FORMAT_VERSION, "caches": caches}
-    try:
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception:
-        # A poison entry somewhere: fall back to filtering entry by entry.
-        for cache_name, entries in caches.items():
-            picklable = {}
-            for key, value in entries.items():
-                try:
-                    pickle.dumps((key, value))
-                except Exception as exc:
-                    log.warning("not persisting %s-cache entry %r: %s", cache_name, key, exc)
-                else:
-                    picklable[key] = value
-            caches[cache_name] = picklable
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    try:
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        tmp_path = f"{path}.tmp.{os.getpid()}"
-        with open(tmp_path, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp_path, path)
-    except OSError as exc:
-        log.warning("could not persist cache snapshot to %s: %s", path, exc)
-        return {}
-    return {name: len(entries) for name, entries in caches.items()}
+    status = current().save_caches(path, max_entries=max_entries)
+    return dict(status.entries) if status.status == "saved" else {}
 
 
 def load_caches(path: str) -> dict[str, int]:
-    """Merge a persisted snapshot into the process-wide caches.
+    """Merge a persisted snapshot into the ambient context's caches.
 
     Returns the number of entries *added* per cache (already-present keys are
     kept, so freshly computed values always win).  A missing, corrupt or
     version-mismatched snapshot loads nothing — callers never need to guard.
     """
-    if not caches_enabled():
-        return {}
-    try:
-        with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except FileNotFoundError:
-        return {}
-    except Exception as exc:
-        log.warning("ignoring unreadable cache snapshot %s: %s", path, exc)
-        return {}
-    if not isinstance(payload, dict) or payload.get("version") != CACHE_FORMAT_VERSION:
-        log.warning(
-            "ignoring cache snapshot %s: format version %r != %d",
-            path,
-            payload.get("version") if isinstance(payload, dict) else None,
-            CACHE_FORMAT_VERSION,
-        )
-        return {}
-    added: dict[str, int] = {}
-    by_name = {cache.name: cache for cache in _ALL_CACHES}
-    for name, entries in payload.get("caches", {}).items():
-        cache = by_name.get(name)
-        if cache is not None and isinstance(entries, dict):
-            added[name] = cache.merge_entries(entries)
-    return added
-
-
-def cache_sizes() -> dict[str, int]:
-    """Current entry count of every process-wide cache, keyed by cache name."""
-    return {cache.name: len(cache) for cache in (*_ALL_CACHES, _PLAN_CACHE)}
+    status = current().load_caches(path)
+    return dict(status.entries) if status.status == "loaded" else {}
 
 
 # ---------------------------------------------------------------------------
@@ -496,11 +244,11 @@ def parallel_map(
 ) -> list[R]:
     """``[fn(x) for x in items]``, fanned out over worker processes when asked.
 
-    Parallelism is strictly opt-in: with ``processes`` (or the
-    ``REPRO_EVAL_PROCESSES`` environment knob) at 1 the map runs serially in
-    process, which is also the only path that warms the process-wide caches.
-    Any failure to fork or pickle falls back to the serial map so callers
-    never have to handle parallelism errors.
+    Parallelism is strictly opt-in: with ``processes`` (or the ambient
+    context's ``eval_processes``) at 1 the map runs serially in process,
+    which is also the only path that warms the context's caches.  Any failure
+    to fork or pickle falls back to the serial map so callers never have to
+    handle parallelism errors.
     """
     work: Sequence[T] = list(items)
     count = processes if processes is not None else evaluation_processes()

@@ -11,6 +11,7 @@ into an end-to-end estimate.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -27,12 +28,8 @@ from repro.nn.data import SyntheticImageDataset
 from repro.nn.layers import seed_all
 from repro.nn.models.common import ConvSlot
 from repro.nn.trainer import Trainer, TrainingConfig
-from repro.search.cache import (
-    cached_baseline,
-    cached_reward,
-    compute_dtype_name,
-    default_train_steps,
-)
+from repro.runtime import RuntimeContext, current
+from repro.search.cache import compute_dtype_name, default_train_steps
 from repro.search.extraction import (
     DEFAULT_COEFFICIENT_VALUES,
     binding_for_slot,
@@ -63,13 +60,14 @@ class EvaluationSettings:
         default_factory=lambda: dict(DEFAULT_COEFFICIENT_VALUES)
     )
 
-    def cache_key(self) -> tuple:
+    def cache_key(self, dtype: str | None = None) -> tuple:
         """Hashable description of every knob that influences a reward.
 
         The compute dtype is part of the key: float32 and float64 proxy
         training genuinely diverge numerically, so their rewards must never
-        alias (``REPRO_COMPILED_FORWARD`` is deliberately absent — the plan
-        and the interpreter agree to tolerance).
+        alias (the compiled-forward knob is deliberately absent — the plan
+        and the interpreter agree to tolerance).  ``dtype`` defaults to the
+        ambient context's compute dtype.
         """
         return (
             self.batch_size,
@@ -79,7 +77,7 @@ class EvaluationSettings:
             self.dataset_size,
             self.dataset_seed,
             tuple(sorted(self.coefficients.items())),
-            compute_dtype_name(),
+            dtype if dtype is not None else compute_dtype_name(),
         )
 
 
@@ -90,7 +88,11 @@ class AccuracyEvaluator:
         self,
         model_builder: Callable,
         settings: EvaluationSettings | None = None,
+        runtime: RuntimeContext | None = None,
     ) -> None:
+        #: the runtime context this evaluator caches into; ``None`` resolves
+        #: the ambient context per call (so ``with ctx.activate():`` works).
+        self.runtime = runtime
         self.model_builder = model_builder
         self.settings = settings or EvaluationSettings()
         dataset = SyntheticImageDataset(
@@ -103,7 +105,29 @@ class AccuracyEvaluator:
         self._baseline_accuracy: float | None = None
         builder_name = getattr(model_builder, "__qualname__", repr(model_builder))
         builder_module = getattr(model_builder, "__module__", "")
-        self._context = ("accuracy", builder_module, builder_name, self.settings.cache_key())
+        # The dtype is baked into the evaluation context at construction so
+        # rewards computed by this instance never alias across dtypes.
+        self._context = (
+            "accuracy", builder_module, builder_name,
+            self.settings.cache_key(self._rt().config.dtype_name()),
+        )
+
+    def _rt(self) -> RuntimeContext:
+        return self.runtime if self.runtime is not None else current()
+
+    def _scope(self):
+        """Evaluation scope: an explicitly threaded runtime becomes ambient.
+
+        Training resolves the compute dtype (and plan compilation) through
+        the ambient context, while this evaluator keys its rewards by its
+        *own* context's dtype — so a threaded ``runtime`` must be active
+        while the work runs, or the cached value and its key would disagree
+        (and serial evaluation would diverge from sharded workers, which
+        always activate the shipped context).
+        """
+        if self.runtime is None:
+            return contextlib.nullcontext()
+        return self.runtime.activate()
 
     def _train(self, conv_factory) -> float:
         # Each training run reseeds the substrate's parameter-initialization
@@ -129,9 +153,10 @@ class AccuracyEvaluator:
         if self._baseline_accuracy is None:
             from repro.nn.models.common import default_conv_factory
 
-            self._baseline_accuracy = cached_baseline(
-                self._context, lambda: self._train(default_conv_factory)
-            )
+            with self._scope():
+                self._baseline_accuracy = self._rt().cached_baseline(
+                    self._context, lambda: self._train(default_conv_factory)
+                )
         return self._baseline_accuracy
 
     def evaluate(self, operator: SynthesizedOperator, seed: int = 0) -> float:
@@ -142,9 +167,11 @@ class AccuracyEvaluator:
         backbone never re-train the same candidate.
         """
         signature = operator.graph.signature()
-        return cached_reward(
-            (self._context, seed), signature, lambda: self._evaluate_uncached(operator, seed)
-        )
+        with self._scope():
+            return self._rt().cached_reward(
+                (self._context, seed), signature,
+                lambda: self._evaluate_uncached(operator, seed),
+            )
 
     def _evaluate_uncached(self, operator: SynthesizedOperator, seed: int) -> float:
         factory = synthesized_conv_factory(
@@ -179,12 +206,27 @@ class LatencyEvaluator:
     coefficients: Mapping[Variable, int] = field(
         default_factory=lambda: dict(DEFAULT_COEFFICIENT_VALUES)
     )
+    #: runtime context to cache into; ``None`` resolves the ambient one per call.
+    runtime: RuntimeContext | None = field(default=None, repr=False, compare=False)
     _baseline_latency: float | None = field(default=None, init=False, repr=False, compare=False)
+
+    def _rt(self) -> RuntimeContext:
+        return self.runtime if self.runtime is not None else current()
+
+    def _scope(self):
+        """Make a threaded ``runtime`` ambient while evaluating (see
+        :meth:`AccuracyEvaluator._scope`)."""
+        if self.runtime is None:
+            return contextlib.nullcontext()
+        return self.runtime.activate()
+
+    def _compile(self, program) -> TuneResult:
+        return self.backend.compile(program, self.target, runtime=self.runtime)
 
     def baseline_latency(self) -> float:
         """Latency (seconds) of the original model: every slot is a standard conv.
 
-        Memoized per instance and process-wide by (slots, backend config,
+        Memoized per instance and context-wide by (slots, backend config,
         target, batch): the baseline does not depend on any candidate, so
         per-candidate evaluator instances all share one computation.
         """
@@ -196,14 +238,17 @@ class LatencyEvaluator:
                 self.target,
                 self.batch,
             )
-            self._baseline_latency = cached_baseline(context, self._baseline_latency_uncached)
+            with self._scope():
+                self._baseline_latency = self._rt().cached_baseline(
+                    context, self._baseline_latency_uncached
+                )
         return self._baseline_latency
 
     def _baseline_latency_uncached(self) -> float:
         total = 0.0
         for slot in self.slots:
             program = loopnest_for_slot(slot, batch=self.batch)
-            total += self.backend.compile(program, self.target).latency_seconds
+            total += self._compile(program).latency_seconds
         return total
 
     def _slot_program(self, slot: ConvSlot, operator: SynthesizedOperator | None):
@@ -224,9 +269,10 @@ class LatencyEvaluator:
     def substituted_latency(self, operator: SynthesizedOperator) -> float:
         """Latency with ``operator`` substituted into every standard 3x3 slot."""
         total = 0.0
-        for slot in self.slots:
-            program = self._slot_program(slot, operator)
-            total += self.backend.compile(program, self.target).latency_seconds
+        with self._scope():
+            for slot in self.slots:
+                program = self._slot_program(slot, operator)
+                total += self._compile(program).latency_seconds
         return total
 
     def speedup(self, operator: SynthesizedOperator) -> float:
@@ -236,9 +282,9 @@ class LatencyEvaluator:
         """Per-slot (baseline, substituted) tuning results — used by Figure 9."""
         results = []
         for slot in substitutable_slots(self.slots):
-            baseline = self.backend.compile(loopnest_for_slot(slot, batch=self.batch), self.target)
+            baseline = self._compile(loopnest_for_slot(slot, batch=self.batch))
             binding = binding_for_slot(slot, self.batch, self.coefficients)
-            substituted = self.backend.compile(lower_to_loopnest(operator, binding), self.target)
+            substituted = self._compile(lower_to_loopnest(operator, binding))
             results.append((slot, baseline, substituted))
         return results
 

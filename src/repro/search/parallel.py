@@ -4,7 +4,7 @@ MCTS reward waves, candidate evaluation and the experiment modules all reduce
 to the same shape of work: a list of *pure* work items (each a function of a
 small picklable description — an operator to proxy-train, a candidate to
 tune) whose results must come back in input order.  :func:`sharded_map` is
-the one primitive that fans such a list out over ``REPRO_SEARCH_SHARDS``
+the one primitive that fans such a list out over ``RuntimeConfig.shards``
 worker processes:
 
 * **Deterministic partition** — item ``i`` always belongs to shard
@@ -12,10 +12,15 @@ worker processes:
   worker availability, machine load or cache warmth.
 * **Deterministic merge** — results are reassembled in input order, and each
   worker's freshly computed cache entries (reward / baseline / compile /
-  plan) are merged back into the parent's process-wide caches in shard
-  order.  Because every cached value is a pure function of its key, the merge
-  order cannot change any value — fixing it anyway makes the executor's
-  behaviour reproducible down to cache-iteration order.
+  plan) are merged back into the parent context's caches in shard order.
+  Because every cached value is a pure function of its key, the merge order
+  cannot change any value — fixing it anyway makes the executor's behaviour
+  reproducible down to cache-iteration order.
+* **Context bootstrap** — each worker runs under the same
+  :class:`~repro.runtime.RuntimeContext` as the caller: the ambient default
+  context is inherited through fork, while an explicit context is pickled
+  into the worker and activated there (the worker-side process edge),
+  replacing the old implicit environment-variable inheritance.
 * **Serial equivalence** — with ``shards <= 1``, a single item, or no spare
   cores, the map degrades to the plain in-process loop.  Results are
   bit-identical either way: work items must not depend on process-global
@@ -37,6 +42,7 @@ wave of pending ``(signature, operator)`` pairs in, a reward mapping out.
 
 from __future__ import annotations
 
+import contextlib
 import functools
 import logging
 import multiprocessing
@@ -44,19 +50,10 @@ import multiprocessing.pool
 import os
 import pickle
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Mapping, Sequence, TypeVar
+from typing import Callable, Hashable, Iterable, Sequence, TypeVar
 
-from repro.search.cache import (
-    KeyedCache,
-    baseline_cache,
-    cached_reward,
-    caches_enabled,
-    compile_cache,
-    evaluation_processes,
-    plan_cache,
-    reward_cache,
-    search_shards,
-)
+from repro.runtime import RuntimeContext, current, default_context
+from repro.search.cache import evaluation_processes
 
 log = logging.getLogger(__name__)
 
@@ -64,19 +61,15 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 
-def _mergeable_caches() -> dict[str, KeyedCache]:
-    """The caches whose worker-side entries are worth shipping back.
+class _InheritDefaultCaches:
+    """Pickle-by-reference marker: "use the worker's inherited default caches".
 
-    Rewards and baselines are the expensive ones (proxy training); compile
-    entries save re-tuning; plans are cheap to rebuild but cheap to ship, so
-    merging them saves the recompile on the next wave.
+    A context *derived* from the default one (same cache set, different
+    config — what the experiment runner builds per run) must not ship a copy
+    of the whole warm cache set to every worker: the fork already carried it.
+    The class object itself is used as the marker because classes pickle by
+    qualified name, so identity survives the process boundary.
     """
-    return {
-        "reward": reward_cache(),
-        "baseline": baseline_cache(),
-        "compile": compile_cache(),
-        "plan": plan_cache(),
-    }
 
 
 @dataclass
@@ -87,15 +80,22 @@ class ShardOutcome:
     cache_entries: dict[str, dict] = field(default_factory=dict)
 
 
-def warn_processes_ignored(shards: int, processes: int | None = None) -> None:
+def warn_processes_ignored(
+    shards: int, processes: int | None = None, runtime: RuntimeContext | None = None
+) -> None:
     """Warn when sharded execution supersedes a requested process fan-out.
 
-    The older ``processes`` fan-out (``REPRO_EVAL_PROCESSES`` / explicit
-    argument) and sharding are mutually exclusive at a call site: sharding
-    wins.  Callers that take both knobs use this so the losing one is never
-    silently dead — whether it came from the argument or the environment.
+    The older ``processes`` fan-out (``RuntimeConfig.eval_processes`` /
+    explicit argument) and sharding are mutually exclusive at a call site:
+    sharding wins.  Callers that take both knobs use this so the losing one
+    is never silently dead — whether it came from the argument or the config.
     """
-    effective = processes if processes is not None else evaluation_processes()
+    if processes is not None:
+        effective = processes
+    elif runtime is not None:
+        effective = max(runtime.config.eval_processes, 1)
+    else:
+        effective = evaluation_processes()
     if effective > 1:
         log.warning(
             "sharded execution (shards=%d) takes precedence: ignoring processes=%d",
@@ -113,56 +113,76 @@ def shard_partition(count: int, shards: int) -> list[list[int]]:
     return [list(range(shard, count, shards)) for shard in range(shards)]
 
 
-def _picklable_entries(cache_name: str, entries: Mapping[Hashable, object]) -> dict:
-    """Drop entries that cannot cross the process boundary (best-effort)."""
-    picklable: dict[Hashable, object] = {}
-    for key, value in entries.items():
-        try:
-            pickle.dumps((key, value))
-        except Exception as exc:
-            log.debug("not shipping %s-cache entry %r back to parent: %s", cache_name, key, exc)
-        else:
-            picklable[key] = value
-    return picklable
+def _maybe_activate(runtime: RuntimeContext):
+    """Activate ``runtime`` unless it is already the ambient resolution.
+
+    Internal (``adopt=False``): the executor activates on behalf of callers
+    who may be pure env-var users.
+    """
+    if runtime is current():
+        return contextlib.nullcontext(runtime)
+    return runtime.activate(adopt=False)
 
 
-def _run_shard(payload: tuple[Callable, list]) -> ShardOutcome:
-    """Worker body: run one shard's items and capture the cache delta.
+def _ship_context(runtime: RuntimeContext) -> RuntimeContext | None:
+    """What to put in a worker payload so the worker runs under ``runtime``.
+
+    * the process-default context → ``None`` (forked workers inherit it);
+    * derived from the default (shared caches, own config) → a context whose
+      caches slot is the :class:`_InheritDefaultCaches` marker, so only the
+      config crosses the pipe;
+    * a fully explicit context → the context itself (config + caches; cache
+      entries are filtered best-effort during pickling).
+    """
+    if runtime is default_context():
+        return None
+    if runtime.caches is default_context().caches:
+        marker = RuntimeContext(runtime.config, caches=_InheritDefaultCaches)  # type: ignore[arg-type]
+        return marker
+    return runtime
+
+
+def _worker_context(shipped: RuntimeContext | None) -> RuntimeContext:
+    """Rebuild the worker-side context from a shipped payload (process edge)."""
+    if shipped is None:
+        return default_context()
+    if shipped.caches is _InheritDefaultCaches:
+        return RuntimeContext(shipped.config, caches=default_context().caches)
+    return shipped
+
+
+def _run_shard(payload: tuple[Callable, list, RuntimeContext | None]) -> ShardOutcome:
+    """Worker body: run one shard's items under the caller's context.
 
     The worker forked with a copy of the parent's caches, so only entries
     *added* while running this shard are exported — re-shipping the inherited
     ones would be wasted pickling (the parent's merge skips present keys
     anyway).
     """
-    fn, items = payload
-    before = {name: cache.key_snapshot() for name, cache in _mergeable_caches().items()}
-    results = [fn(item) for item in items]
-    entries: dict[str, dict] = {}
-    if caches_enabled():
-        for name, cache in _mergeable_caches().items():
-            fresh = {
-                key: value
-                for key, value in cache.export_entries().items()
-                if key not in before[name]
-            }
-            if fresh:
-                entries[name] = _picklable_entries(name, fresh)
+    fn, items, shipped = payload
+    runtime = _worker_context(shipped)
+    with _maybe_activate(runtime):
+        before = runtime.caches.key_snapshots()
+        results = [fn(item) for item in items]
+        entries: dict[str, dict] = {}
+        if runtime.config.eval_cache:
+            entries = runtime.caches.export_delta(before)
     return ShardOutcome(results=results, cache_entries=entries)
 
 
-def merge_shard_caches(outcomes: Sequence[ShardOutcome]) -> dict[str, int]:
-    """Merge worker cache deltas into the parent, in shard order.
+def merge_shard_caches(
+    outcomes: Sequence[ShardOutcome], runtime: RuntimeContext | None = None
+) -> dict[str, int]:
+    """Merge worker cache deltas into the parent context, in shard order.
 
     Returns entries added per cache.  Already-present keys are kept (the
-    parent's value is at least as fresh), mirroring :func:`load_caches`.
+    parent's value is at least as fresh), mirroring snapshot loading.
     """
+    caches = (runtime if runtime is not None else current()).caches
     added: dict[str, int] = {}
-    caches = _mergeable_caches()
     for outcome in outcomes:
-        for name, entries in outcome.cache_entries.items():
-            cache = caches.get(name)
-            if cache is not None and entries:
-                added[name] = added.get(name, 0) + cache.merge_entries(entries)
+        for name, count in caches.merge_delta(outcome.cache_entries).items():
+            added[name] = added.get(name, 0) + count
     return added
 
 
@@ -171,12 +191,14 @@ def sharded_map(
     items: Iterable[T],
     shards: int | None = None,
     max_workers: int | None = None,
+    runtime: RuntimeContext | None = None,
 ) -> list[R]:
     """``[fn(x) for x in items]`` executed across shard worker processes.
 
-    ``shards`` defaults to the ``REPRO_SEARCH_SHARDS`` knob.  Results come
-    back in input order and each worker's freshly cached evaluations are
-    merged into the parent's caches (shard order), so a sharded run leaves
+    ``shards`` defaults to the context's ``RuntimeConfig.shards``; ``runtime``
+    defaults to the ambient context (:func:`repro.runtime.current`).  Results
+    come back in input order and each worker's freshly cached evaluations are
+    merged into the context's caches (shard order), so a sharded run leaves
     the parent process exactly as warm as the serial run would have.
 
     ``max_workers`` bounds the live worker processes (default: the machine's
@@ -184,25 +206,38 @@ def sharded_map(
     therefore every result, is a pure function of ``shards``.
     """
     work = list(items)
-    count = shards if shards is not None else search_shards()
+    context_given = runtime is not None
+    runtime = runtime if runtime is not None else current()
+    count = shards if shards is not None else max(runtime.config.shards, 1)
     count = max(count, 1)
     workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
     workers = min(count, max(workers, 1), len(work))
-    if count <= 1 or len(work) <= 1 or workers <= 1:
+
+    def serial() -> list[R]:
+        if context_given:
+            with _maybe_activate(runtime):
+                return [fn(item) for item in work]
         return [fn(item) for item in work]
+
+    if count <= 1 or len(work) <= 1 or workers <= 1:
+        return serial()
     partitions = shard_partition(len(work), count)
-    payloads = [(fn, [work[index] for index in partition]) for partition in partitions]
+    shipped = _ship_context(runtime)
+    payloads = [
+        (fn, [work[index] for index in partition], shipped) for partition in partitions
+    ]
     try:
-        # Setup-only guard, like parallel_map: prove the payload can cross the
-        # process boundary and that fork exists.  Errors raised by ``fn``
-        # during the map are genuine work failures and propagate first-class.
-        pickle.dumps(fn)
+        # Setup-only guard, like parallel_map: prove the payload (work, fn and
+        # any shipped context) can cross the process boundary and that fork
+        # exists.  Errors raised by ``fn`` during the map are genuine work
+        # failures and propagate first-class.
+        pickle.dumps(payloads[0])
         pickle.dumps(work)
-        context = multiprocessing.get_context("fork")
-        pool = context.Pool(workers)
+        mp = multiprocessing.get_context("fork")
+        pool = mp.Pool(workers)
     except Exception as exc:  # unpicklable payloads, missing fork, ...
         log.warning("sharded execution unavailable (%s); falling back to serial", exc)
-        return [fn(item) for item in work]
+        return serial()
     try:
         with pool:
             outcomes = pool.map(_run_shard, payloads)
@@ -211,8 +246,8 @@ def sharded_map(
         # possible for this fn, so the serial map is the correct degradation;
         # exceptions raised by ``fn`` itself re-raise as themselves above.
         log.warning("sharded results not picklable (%s); falling back to serial", exc)
-        return [fn(item) for item in work]
-    merged = merge_shard_caches(outcomes)
+        return serial()
+    merged = merge_shard_caches(outcomes, runtime=runtime)
     if merged:
         log.info(
             "merged shard caches: %s",
@@ -235,7 +270,7 @@ def _reward_worker(
 ) -> float:
     """Evaluate one pending (signature, operator) pair inside a shard."""
     signature, operator = item
-    return cached_reward(context, signature, lambda: float(reward_fn(operator)))
+    return current().cached_reward(context, signature, lambda: float(reward_fn(operator)))
 
 
 def sharded_reward_evaluator(
@@ -243,6 +278,7 @@ def sharded_reward_evaluator(
     context: Hashable,
     shards: int | None = None,
     max_workers: int | None = None,
+    runtime: RuntimeContext | None = None,
 ) -> Callable[[Sequence[tuple[str, object]]], dict[str, float]]:
     """A batched reward evaluator for :meth:`repro.core.mcts.MCTS.run`.
 
@@ -256,7 +292,9 @@ def sharded_reward_evaluator(
 
     def evaluate(pending: Sequence[tuple[str, object]]) -> dict[str, float]:
         worker = functools.partial(_reward_worker, reward_fn, context)
-        values = sharded_map(worker, list(pending), shards=shards, max_workers=max_workers)
+        values = sharded_map(
+            worker, list(pending), shards=shards, max_workers=max_workers, runtime=runtime
+        )
         return {signature: value for (signature, _), value in zip(pending, values)}
 
     return evaluate

@@ -17,15 +17,22 @@ structural key, and one latency evaluator is hoisted per (backend, target)
 pair so each baseline compiles exactly once per session.
 
 Both halves of the session shard across worker processes under
-``SearchConfig.shards`` (default: the ``REPRO_SEARCH_SHARDS`` knob): MCTS
-reward waves go through :func:`repro.search.parallel.sharded_reward_evaluator`
-and candidate latency evaluation through
-:func:`repro.search.parallel.sharded_map`, with worker caches merged back
-deterministically — a sharded session's results are bit-identical to the
-serial ones.  Candidate latency evaluation can alternatively fan out through
-the older ``REPRO_EVAL_PROCESSES`` knob (which does not merge caches back);
-the experiment runner and CLI (:mod:`repro.experiments.runner`,
-:mod:`repro.cli`) persist the caches across processes.
+``SearchConfig.shards`` (default: the runtime context's ``shards`` field):
+MCTS reward waves go through
+:func:`repro.search.parallel.sharded_reward_evaluator` and candidate latency
+evaluation through :func:`repro.search.parallel.sharded_map`, with worker
+caches merged back deterministically — a sharded session's results are
+bit-identical to the serial ones.  Candidate latency evaluation can
+alternatively fan out through the older ``eval_processes`` fan-out (which
+does not merge caches back); the experiment runner and CLI
+(:mod:`repro.experiments.runner`, :mod:`repro.cli`) persist the caches
+across processes.
+
+A session accepts an explicit :class:`repro.runtime.RuntimeContext`
+(``SearchSession(..., runtime=ctx)``); without one it resolves the ambient
+context (:func:`repro.runtime.current`), so ``with ctx.activate():`` scopes
+a whole session.  Two sessions with different contexts coexist in one
+process with fully isolated caches.
 """
 
 from __future__ import annotations
@@ -39,7 +46,8 @@ from repro.compiler.targets import HardwareTarget, MOBILE_CPU
 from repro.core.enumeration import EnumerationOptions, default_options_for
 from repro.core.mcts import MCTS, MCTSConfig, SampleRecord
 from repro.core.operator import OperatorSpec, SynthesizedOperator
-from repro.search.cache import parallel_map, search_shards
+from repro.runtime import RuntimeContext, current
+from repro.search.cache import parallel_map
 from repro.search.evaluator import AccuracyEvaluator, EvaluationSettings, LatencyEvaluator
 from repro.search.parallel import sharded_map, sharded_reward_evaluator, warn_processes_ignored
 from repro.search.extraction import (
@@ -64,16 +72,27 @@ class SearchConfig:
     #: MCTS frontier width: rollouts proposed per wave before rewards are
     #: applied.  Fixed independently of the shard count so the search
     #: trajectory is a function of the seed alone (shards only split a wave's
-    #: evaluations across workers).
-    frontier_width: int = 8
+    #: evaluations across workers).  ``None`` inherits the runtime context's
+    #: ``frontier_width`` field (default 8).
+    frontier_width: int | None = None
     #: worker shards for reward waves and candidate evaluation; ``None``
-    #: inherits the ``REPRO_SEARCH_SHARDS`` environment knob.
+    #: inherits the runtime context's ``shards`` field.
     shards: int | None = None
     evaluation: EvaluationSettings = field(default_factory=EvaluationSettings)
 
-    def effective_shards(self) -> int:
-        """The shard count this session runs with (config beats environment)."""
-        return max(self.shards, 1) if self.shards is not None else search_shards()
+    def effective_shards(self, runtime: RuntimeContext | None = None) -> int:
+        """The shard count this session runs with (config beats context)."""
+        if self.shards is not None:
+            return max(self.shards, 1)
+        context = runtime if runtime is not None else current()
+        return max(context.config.shards, 1)
+
+    def effective_frontier_width(self, runtime: RuntimeContext | None = None) -> int:
+        """The wave width this session searches with (config beats context)."""
+        if self.frontier_width is not None:
+            return max(self.frontier_width, 1)
+        context = runtime if runtime is not None else current()
+        return max(context.config.frontier_width, 1)
 
 
 @dataclass
@@ -101,7 +120,11 @@ class SearchSession:
         config: SearchConfig | None = None,
         backends: Sequence[CompilerBackend] | None = None,
         targets: Sequence[HardwareTarget] | None = None,
+        runtime: RuntimeContext | None = None,
     ) -> None:
+        #: the runtime context this session evaluates and caches under;
+        #: ``None`` resolves the ambient context per call.
+        self.runtime = runtime
         self.model_builder = model_builder
         self.config = config or SearchConfig()
         self.backends = list(backends) if backends is not None else [TVMBackend(trials=32)]
@@ -117,11 +140,16 @@ class SearchSession:
             batch=self.config.evaluation.batch_size,
             coefficients=self.config.evaluation.coefficients,
         )
-        self.accuracy_evaluator = AccuracyEvaluator(model_builder, self.config.evaluation)
+        self.accuracy_evaluator = AccuracyEvaluator(
+            model_builder, self.config.evaluation, runtime=runtime
+        )
         self.original_macs = original_macs(self.slots, batch=self.config.evaluation.batch_size)
         #: one latency evaluator per (backend, target), created on first use so
         #: the baseline latency is compiled exactly once per pair per session.
         self._latency_evaluators: dict[tuple[str, str], LatencyEvaluator] = {}
+
+    def _rt(self) -> RuntimeContext:
+        return self.runtime if self.runtime is not None else current()
 
     # -- synthesis ----------------------------------------------------------
 
@@ -140,8 +168,8 @@ class SearchSession:
         """Run the MCTS search and return accuracy-qualified candidates.
 
         Reward waves and candidate latency evaluation shard across
-        ``SearchConfig.shards`` worker processes (default: the
-        ``REPRO_SEARCH_SHARDS`` knob); the results are bit-identical to a
+        ``SearchConfig.shards`` worker processes (default: the runtime
+        context's ``shards`` field); the results are bit-identical to a
         serial run with the same seed.
         """
         options = self.enumeration_options()
@@ -155,17 +183,19 @@ class SearchSession:
             config=MCTSConfig(
                 iterations=iterations if iterations is not None else self.config.mcts_iterations,
                 seed=self.config.mcts_seed,
-                batch_size=max(self.config.frontier_width, 1),
+                batch_size=self.config.effective_frontier_width(self._rt()),
                 # Share rewards with every search over the same backbone and
                 # evaluation settings (the evaluator's cache context).
                 cache_context=self.accuracy_evaluator._context,
             ),
+            runtime=self.runtime,
         )
-        shards = self.config.effective_shards()
+        shards = self.config.effective_shards(self._rt())
         evaluate_batch = None
         if shards > 1:
             evaluate_batch = sharded_reward_evaluator(
-                reward_fn, self.accuracy_evaluator._context, shards=shards
+                reward_fn, self.accuracy_evaluator._context, shards=shards,
+                runtime=self.runtime,
             )
         samples = search.run(evaluate_batch=evaluate_batch)
         return self.evaluate_candidates(samples, shards=shards)
@@ -181,10 +211,10 @@ class SearchSession:
         """Latency-evaluate the accuracy-qualified samples.
 
         ``shards`` (default: ``SearchConfig.shards``, falling back to the
-        ``REPRO_SEARCH_SHARDS`` knob) fans the per-candidate evaluation out
-        over shard worker processes and merges their compile-cache entries
-        back into this process.  ``processes`` (the older
-        ``REPRO_EVAL_PROCESSES`` knob) is honoured when sharding is off; its
+        runtime context's ``shards`` field) fans the per-candidate evaluation
+        out over shard worker processes and merges their compile-cache
+        entries back into this context.  ``processes`` (the older
+        ``eval_processes`` fan-out) is honoured when sharding is off; its
         workers' caches are discarded.
         """
         baseline = self.accuracy_evaluator.baseline_accuracy()
@@ -196,10 +226,10 @@ class SearchSession:
         # ``partial`` keeps the session on the callable, so it crosses the
         # process boundary once per worker chunk instead of once per record.
         worker = functools.partial(_evaluate_sample, self)
-        count = shards if shards is not None else self.config.effective_shards()
+        count = shards if shards is not None else self.config.effective_shards(self._rt())
         if count > 1:
-            warn_processes_ignored(count, processes)
-            results = sharded_map(worker, qualified, shards=count)
+            warn_processes_ignored(count, processes, runtime=self.runtime)
+            results = sharded_map(worker, qualified, shards=count, runtime=self.runtime)
         else:
             results = parallel_map(worker, qualified, processes=processes)
         results.sort(key=lambda result: min(result.latencies.values(), default=float("inf")))
@@ -215,6 +245,7 @@ class SearchSession:
                 target=target,
                 batch=1,
                 coefficients=self.config.evaluation.coefficients,
+                runtime=self.runtime,
             )
             # Hoisted out of the per-candidate loop: the baseline is a property
             # of the (backend, target) pair, so compile it exactly once here.

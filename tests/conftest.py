@@ -13,7 +13,10 @@ def _full_precision_substrate(monkeypatch):
     ``benchmarks/conftest.py`` exports ``REPRO_SMOKE=1`` for the whole
     process, which would silently flip the compute dtype to float32 and break
     the exact-numerics assertions here.  Tests that exercise the dtype knob
-    override this per-test with their own ``monkeypatch.setenv``.
+    override this per-test with their own ``monkeypatch.setenv`` (the
+    environment is the supported process-edge fallback: the ambient default
+    ``RuntimeContext`` re-parses its config when ``REPRO_*`` values change)
+    or by activating an explicit context.
     """
     monkeypatch.setenv("REPRO_DTYPE", "float64")
 

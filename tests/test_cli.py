@@ -155,9 +155,37 @@ def test_cli_cache_shows_snapshot_stats(tmp_path, capsys):
     assert main(["cache", "--results-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "persisted snapshot" in out and "recent runs" in out
+    assert "load status: loaded" in out
 
     assert main(["cache", "--results-dir", str(tmp_path), "--clear"]) == 0
     assert not ArtifactStore(tmp_path).cache_path.exists()
+
+
+def test_cli_cache_surfaces_version_mismatch(tmp_path, capsys):
+    """A stale snapshot is reported (path + versions), never silently dropped."""
+    import pickle
+
+    store = ArtifactStore(tmp_path)
+    store.cache_path.parent.mkdir(parents=True, exist_ok=True)
+    store.cache_path.write_bytes(pickle.dumps({"version": 999, "caches": {}}))
+    assert main(["cache", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "load status: ignored: snapshot version 999" in out
+
+
+def test_cli_config_renders_table_and_json(capsys, monkeypatch):
+    """`repro config` shows resolved values with default/env/explicit provenance."""
+    monkeypatch.setenv("REPRO_SEARCH_SHARDS", "3")
+    assert main(["config"]) == 0
+    out = capsys.readouterr().out
+    assert "field" in out and "provenance" in out
+    assert "REPRO_SEARCH_SHARDS" in out and "env" in out
+
+    assert main(["config", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runtime"]["shards"] == 3
+    assert payload["provenance"]["shards"] == "env"
+    assert payload["provenance"]["compiled_forward"] == "default"
 
 
 # ---------------------------------------------------------------------------

@@ -263,7 +263,10 @@ class TestExperimentParity:
         )
         assert serial.record.fingerprint() == sharded.record.fingerprint()
         assert sharded.record.config["shards"] is None
-        assert sharded.record.environment.get("REPRO_SEARCH_SHARDS") == "4"
+        # The count survives in the record's resolved runtime config, marked
+        # as an explicit override.
+        assert sharded.record.environment["runtime"]["shards"] == 4
+        assert sharded.record.environment["provenance"]["shards"] == "explicit"
 
     def test_figure8_variants_identical_across_forked_workers(self):
         """Force real worker processes (even on one core) and compare."""

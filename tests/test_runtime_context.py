@@ -1,0 +1,466 @@
+"""Tests for the scoped runtime API (:mod:`repro.runtime`).
+
+Covers: `RuntimeConfig` provenance (default/env/explicit), activation
+scoping, concurrent contexts with isolated caches (sequentially interleaved
+*and* in threads), record parity between the explicit context path and the
+legacy env-var path, the env-fallback deprecation warning, and the
+structured snapshot load/save status.
+"""
+
+from __future__ import annotations
+
+import functools
+import pickle
+import threading
+import warnings
+
+import pytest
+
+from repro.compiler.backends import TVMBackend
+from repro.compiler.targets import MOBILE_CPU
+from repro.experiments.common import evaluate_model, syno_candidates
+from repro.experiments.runner import ExperimentConfig, applied_env, run_experiment
+from repro.nn.models.common import ConvSlot
+from repro.nn.tensor import compute_dtype
+from repro.runtime import (
+    CACHE_FORMAT_VERSION,
+    CacheSet,
+    RuntimeConfig,
+    RuntimeContext,
+    current,
+    default_context,
+    reset_deprecation_warnings,
+)
+from repro.search.cache import (
+    clear_caches,
+    default_train_steps,
+    reward_cache,
+    search_shards,
+    smoke_mode,
+)
+from repro.search.parallel import sharded_map
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+# ---------------------------------------------------------------------------
+# RuntimeConfig: parsing, provenance, derivation
+# ---------------------------------------------------------------------------
+
+
+class TestRuntimeConfig:
+    def test_from_env_tags_provenance(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        monkeypatch.setenv("REPRO_SEARCH_SHARDS", "3")
+        monkeypatch.delenv("REPRO_TRAIN_STEPS", raising=False)
+        config = RuntimeConfig.from_env()
+        assert config.smoke is True and config.shards == 3
+        provenance = config.provenance_map()
+        assert provenance["smoke"] == "env" and provenance["shards"] == "env"
+        assert provenance["train_steps"] == "default"
+        assert provenance["compiled_forward"] == "default"
+
+    def test_with_overrides_tags_explicit_and_keeps_the_rest(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SMOKE", "1")
+        config = RuntimeConfig.from_env().with_overrides(train_steps=5)
+        assert config.train_steps == 5 and config.smoke is True
+        assert config.provenance_map()["train_steps"] == "explicit"
+        assert config.provenance_map()["smoke"] == "env"
+
+    def test_direct_construction_marks_non_defaults_explicit(self):
+        config = RuntimeConfig(smoke=True, shards=4)
+        provenance = config.provenance_map()
+        assert provenance["smoke"] == "explicit" and provenance["shards"] == "explicit"
+        assert provenance["dtype"] == "default"
+
+    def test_dtype_and_train_steps_derive_from_smoke(self):
+        assert RuntimeConfig(smoke=True).dtype_name() == "float32"
+        assert RuntimeConfig(smoke=False).dtype_name() == "float64"
+        assert RuntimeConfig(smoke=True).resolve_train_steps(40, 8) == 8
+        assert RuntimeConfig(train_steps=5).resolve_train_steps(40, 8) == 5
+        assert RuntimeConfig(smoke=True, dtype="float64").dtype_name() == "float64"
+
+    def test_unknown_override_and_bad_dtype_are_rejected(self):
+        with pytest.raises(TypeError, match="no_such_field"):
+            RuntimeConfig().with_overrides(no_such_field=1)
+        with pytest.raises(ValueError, match="dtype"):
+            RuntimeConfig(dtype="float16")
+
+    def test_malformed_env_values_fall_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "not-a-number")
+        monkeypatch.setenv("REPRO_DTYPE", "bfloat16")
+        monkeypatch.delenv("REPRO_SMOKE", raising=False)
+        config = RuntimeConfig.from_env()
+        assert config.train_steps is None and config.dtype is None
+        assert config.provenance_map()["train_steps"] == "default"
+
+    def test_empty_string_flag_disables_like_it_always_has(self, monkeypatch):
+        """`REPRO_EVAL_CACHE= cmd` (empty value) must still mean disabled."""
+        monkeypatch.setenv("REPRO_EVAL_CACHE", "")
+        config = RuntimeConfig.from_env()
+        assert config.eval_cache is False
+        assert config.provenance_map()["eval_cache"] == "env"
+
+
+# ---------------------------------------------------------------------------
+# Activation scoping and the legacy shims
+# ---------------------------------------------------------------------------
+
+
+class TestActivation:
+    def test_activate_scopes_and_nests(self):
+        outer = RuntimeContext(RuntimeConfig(shards=2))
+        inner = RuntimeContext(RuntimeConfig(shards=5))
+        assert current() is default_context()
+        with outer.activate():
+            assert current() is outer and search_shards() == 2
+            with inner.activate():
+                assert current() is inner and search_shards() == 5
+            assert current() is outer
+        assert current() is default_context()
+
+    def test_shims_follow_the_active_context(self):
+        ctx = RuntimeContext(RuntimeConfig(smoke=True, train_steps=3))
+        with ctx.activate():
+            assert smoke_mode() is True
+            assert default_train_steps(full=40, smoke=8) == 3
+            assert reward_cache() is ctx.caches.reward
+        assert reward_cache() is default_context().caches.reward
+
+    def test_env_seed_change_reseeds_the_default_rng(self, monkeypatch):
+        first = default_context().rng  # materialize, seeded from the old config
+        monkeypatch.setenv("REPRO_SEED", "7")
+        refreshed = default_context()
+        assert refreshed.config.seed == 7
+        assert refreshed.rng is not first
+
+    def test_env_knob_changes_keep_the_default_caches(self, monkeypatch):
+        """Refreshing the default config on env changes must not drop warmth."""
+        caches = default_context().caches
+        caches.reward.put(("warm",), 1.0)
+        monkeypatch.setenv("REPRO_SEARCH_SHARDS", "7")
+        assert search_shards() == 7
+        assert default_context().caches is caches
+        assert ("warm",) in default_context().caches.reward
+
+    def test_derive_with_results_dir_reroots_the_store(self, tmp_path):
+        ctx = RuntimeContext(RuntimeConfig(results_dir=str(tmp_path / "a")))
+        assert str(ctx.store.root) == str(tmp_path / "a")  # materialize it
+        derived = ctx.derive(results_dir=str(tmp_path / "b"))
+        assert str(derived.store.root) == str(tmp_path / "b")
+        assert str(derived.snapshot_path()).startswith(str(tmp_path / "b"))
+        assert derived.caches is ctx.caches  # caches still shared
+
+    def test_context_pickles_without_store_and_lock_state(self):
+        ctx = RuntimeContext(RuntimeConfig(smoke=True))
+        ctx.caches.reward.put("k", 0.5)
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.config == ctx.config
+        assert clone.caches.reward.lookup("k") == (True, 0.5)
+
+
+# ---------------------------------------------------------------------------
+# Concurrent contexts: isolation and parity (the acceptance scenario)
+# ---------------------------------------------------------------------------
+
+
+_SLOTS = (ConvSlot("c1", 16, 16, 8, 3, 1), ConvSlot("c2", 16, 32, 8, 3, 1))
+
+
+def _latency_eval(runtime=None):
+    return evaluate_model(
+        "unit", list(_SLOTS), TVMBackend(trials=8), MOBILE_CPU,
+        syno_candidates()[:2], runtime=runtime,
+    )
+
+
+class TestConcurrentContexts:
+    def test_evaluate_model_in_two_contexts_same_process(self):
+        """Explicitly threaded contexts: same results, fully isolated caches."""
+        reference = _latency_eval()  # ambient default context
+        ctx_a = RuntimeContext(RuntimeConfig(smoke=True))
+        ctx_b = RuntimeContext(RuntimeConfig(smoke=False))
+        result_a = _latency_eval(runtime=ctx_a)
+        result_b = _latency_eval(runtime=ctx_b)
+        assert result_a == reference and result_b == reference
+        # Zero cross-talk: each context tuned in its own compile cache.
+        assert len(ctx_a.caches.compile_) > 0
+        assert len(ctx_b.caches.compile_) > 0
+        assert ctx_a.caches.compile_.key_snapshot() == ctx_b.caches.compile_.key_snapshot()
+        assert ctx_a.caches.compile_ is not ctx_b.caches.compile_
+        # The other context saw no hits from this one's work.
+        assert ctx_a.caches.compile_.stats.hits == ctx_b.caches.compile_.stats.hits
+
+    def test_evaluate_model_in_two_threads(self):
+        """Two activated contexts running concurrently in threads."""
+        reference = _latency_eval()
+        contexts = [
+            RuntimeContext(RuntimeConfig(smoke=True)),
+            RuntimeContext(RuntimeConfig(smoke=False)),
+        ]
+        results: dict[int, object] = {}
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                with contexts[index].activate():
+                    results[index] = _latency_eval()
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert results[0] == reference and results[1] == reference
+        for ctx in contexts:
+            assert len(ctx.caches.compile_) > 0
+
+    def test_threads_resolve_their_own_dtype(self):
+        """Per-thread activation isolates even the tensor allocation dtype."""
+        seen: dict[str, str] = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name: str, dtype: str) -> None:
+            ctx = RuntimeContext(RuntimeConfig(dtype=dtype))
+            with ctx.activate():
+                barrier.wait(timeout=10)  # both contexts active at once
+                seen[name] = compute_dtype().name
+
+        threads = [
+            threading.Thread(target=worker, args=("a", "float32")),
+            threading.Thread(target=worker, args=("b", "float64")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == {"a": "float32", "b": "float64"}
+
+    def test_concurrent_contexts_match_env_var_records(self):
+        """Two coexisting contexts with different dtype/train_steps produce
+        the same records as isolated env-var runs (acceptance criterion)."""
+        config_fast = ExperimentConfig(smoke=True, train_steps=2, seed=0)
+        config_slow = ExperimentConfig(smoke=True, train_steps=3, seed=0)
+        base = RuntimeConfig.from_env()
+        ctx_fast = RuntimeContext(base.with_overrides(smoke=True, dtype="float32"))
+        ctx_slow = RuntimeContext(base.with_overrides(smoke=True, dtype="float64"))
+
+        with ctx_fast.activate():
+            fast = run_experiment("figure8", config_fast).record
+        with ctx_slow.activate():
+            slow = run_experiment("figure8", config_slow).record
+        # Re-running under the first context again is all cache hits.
+        with ctx_fast.activate():
+            fast_again = run_experiment("figure8", config_fast).record
+        assert fast_again.fingerprint() == fast.fingerprint()
+        assert fast_again.cache_stats["reward"]["misses"] == 0
+
+        # Zero cross-talk: the default caches saw none of this work, and the
+        # two contexts' reward keys never alias (dtype is part of the key).
+        assert len(reward_cache()) == 0
+        assert len(ctx_fast.caches.reward) > 0 and len(ctx_slow.caches.reward) > 0
+        assert not (
+            ctx_fast.caches.reward.key_snapshot()
+            & ctx_slow.caches.reward.key_snapshot()
+        )
+
+        # The env-var path (isolated, sequential) agrees record for record.
+        clear_caches()
+        with applied_env({"REPRO_DTYPE": "float32"}):
+            env_fast = run_experiment("figure8", config_fast).record
+        clear_caches()
+        with applied_env({"REPRO_DTYPE": "float64"}):
+            env_slow = run_experiment("figure8", config_slow).record
+        assert fast.fingerprint() == env_fast.fingerprint()
+        assert slow.fingerprint() == env_slow.fingerprint()
+        assert fast.fingerprint() != slow.fingerprint()  # budgets genuinely differ
+        # The records document their runtime config and provenance.
+        assert fast.environment["runtime"]["dtype"] == "float32"
+        assert fast.environment["provenance"]["dtype"] == "explicit"
+        assert env_fast.environment["provenance"]["dtype"] == "env"
+
+
+class TestThreadedRuntimeMatchesActivation:
+    """`runtime=ctx` must behave exactly like `with ctx.activate():`."""
+
+    def _settings(self):
+        from repro.search.evaluator import EvaluationSettings
+
+        return EvaluationSettings(train_steps=2, dataset_size=32, batch_size=8)
+
+    def test_threaded_evaluator_trains_under_its_own_dtype(self):
+        """The reward key bakes ctx's dtype, so training must run under ctx
+        even when the caller never activates it (else serial evaluation would
+        diverge from sharded workers, which do activate)."""
+        from repro.nn.models.resnet import resnet18
+        from repro.search.evaluator import AccuracyEvaluator
+
+        # Ambient default is float64 (pinned by tests/conftest.py).
+        f32 = RuntimeConfig(dtype="float32")
+        threaded = AccuracyEvaluator(resnet18, self._settings(), runtime=RuntimeContext(f32))
+        threaded_baseline = threaded.baseline_accuracy()
+
+        activation_ctx = RuntimeContext(f32)
+        with activation_ctx.activate():
+            activated = AccuracyEvaluator(resnet18, self._settings())
+            activated_baseline = activated.baseline_accuracy()
+
+        ambient = AccuracyEvaluator(resnet18, self._settings())  # float64
+        assert threaded.runtime is not None
+        assert threaded._context == activated._context  # same float32 key
+        assert threaded_baseline == activated_baseline  # same float32 numbers
+        assert threaded._context != ambient._context  # never aliases float64
+
+
+def _context_cached_value(context_tag: str, value: int) -> float:
+    """Picklable shard worker that caches through the ambient context."""
+    return current().cached_reward(context_tag, str(value), lambda: float(value * value))
+
+
+class TestShardedContextBootstrap:
+    def test_explicit_context_ships_to_workers_and_merges_back(self):
+        ctx = RuntimeContext(RuntimeConfig(shards=2))
+        worker = functools.partial(_context_cached_value, "ship-test")
+        results = sharded_map(worker, [1, 2, 3, 4], max_workers=2, runtime=ctx)
+        assert results == [1.0, 4.0, 9.0, 16.0]
+        # The workers' rewards merged into the explicit context's caches —
+        # not into the process-default ones.
+        assert len(ctx.caches.reward) == 4
+        assert len(reward_cache()) == 0
+
+    def test_derived_context_workers_inherit_default_caches(self):
+        reward_cache().put(("pre",), 0.0)  # pre-existing warmth to inherit
+        ctx = default_context().derive(shards=2)
+        worker = functools.partial(_context_cached_value, "derive-test")
+        results = sharded_map(worker, [1, 2, 3, 4], max_workers=2, runtime=ctx)
+        assert results == [1.0, 4.0, 9.0, 16.0]
+        # Derived contexts share the default cache set, so the merge lands there.
+        assert len(reward_cache()) == 5
+
+    def test_contexts_sharing_default_caches_ship_config_only(self):
+        """Payloads for CLI-style contexts must not pickle the warm cache set."""
+        from repro.search.parallel import _InheritDefaultCaches, _ship_context
+
+        assert _ship_context(default_context()) is None
+        edge = RuntimeContext(RuntimeConfig(shards=2), caches=default_context().caches)
+        shipped = _ship_context(edge)
+        assert shipped is not None and shipped.caches is _InheritDefaultCaches
+        isolated = RuntimeContext(RuntimeConfig(shards=2))
+        assert _ship_context(isolated) is isolated
+
+
+# ---------------------------------------------------------------------------
+# Env-fallback deprecation warning
+# ---------------------------------------------------------------------------
+
+
+class TestEnvFallbackDeprecation:
+    def test_warns_once_per_knob_after_explicit_context(self, monkeypatch):
+        with RuntimeContext(RuntimeConfig()).activate():
+            pass  # the process has now adopted the explicit API
+        reset_deprecation_warnings()
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "7")
+        with pytest.warns(DeprecationWarning, match="REPRO_TRAIN_STEPS"):
+            assert default_train_steps() == 7
+        # The same knob never warns twice.
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "9")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert default_train_steps() == 9
+
+    def test_no_warning_while_an_explicit_context_is_active(self, monkeypatch):
+        reset_deprecation_warnings()
+        ctx = RuntimeContext(RuntimeConfig(train_steps=4))
+        monkeypatch.setenv("REPRO_TRAIN_STEPS", "11")
+        with ctx.activate():
+            with warnings.catch_warnings():
+                warnings.simplefilter("error", DeprecationWarning)
+                # The active context wins; no env read happens at all.
+                assert default_train_steps() == 4
+
+    def test_runner_activation_does_not_count_as_adoption(self, monkeypatch):
+        """run_experiment activates internally on behalf of env-var callers —
+        that must not arm the env-steering deprecation for them."""
+        from repro.runtime import config as runtime_config
+        from repro.runtime import explicit_context_seen
+
+        monkeypatch.setattr(runtime_config, "_EXPLICIT_CONTEXT_SEEN", False)
+        run_experiment("ablation-materialization")
+        assert not explicit_context_seen()
+        # A user-constructed activation, by contrast, does adopt.
+        with RuntimeContext(RuntimeConfig()).activate():
+            pass
+        assert explicit_context_seen()
+
+    def test_unchanged_env_never_warns(self):
+        """Reading a *stable* environment through the fallback is supported.
+
+        The warning targets mid-process env *changes* after explicit-context
+        adoption (the deprecated steering pattern) — a CLI process that read
+        its env once at the edge must stay silent no matter how many contexts
+        it activates afterwards.
+        """
+        with RuntimeContext(RuntimeConfig()).activate():
+            pass
+        reset_deprecation_warnings()
+        default_context()  # settle the snapshot
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            default_train_steps()
+            smoke_mode()
+
+
+# ---------------------------------------------------------------------------
+# Snapshot status (satellite: no more silent snapshot failures)
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotStatus:
+    def test_save_and_load_round_trip(self, tmp_path):
+        caches = CacheSet()
+        caches.reward.put(("ctx", "sig"), 0.5)
+        path = tmp_path / "snap.pkl"
+        saved = caches.save_snapshot(str(path))
+        assert saved.status == "saved" and saved.entries["reward"] == 1
+        assert caches.last_save is saved
+
+        fresh = CacheSet()
+        loaded = fresh.load_snapshot(str(path))
+        assert loaded.status == "loaded" and loaded.entries["reward"] == 1
+        assert fresh.last_load is loaded
+        assert ("ctx", "sig") in fresh.reward
+
+    def test_missing_and_disabled_are_distinct_statuses(self, tmp_path):
+        caches = CacheSet()
+        assert caches.load_snapshot(str(tmp_path / "absent.pkl")).status == "missing"
+        assert caches.save_snapshot(str(tmp_path / "s.pkl"), enabled=False).status == "disabled"
+
+    def test_version_mismatch_logs_path_and_both_versions(self, tmp_path, caplog):
+        path = tmp_path / "snap.pkl"
+        path.write_bytes(pickle.dumps({"version": 999, "caches": {}}))
+        caches = CacheSet()
+        with caplog.at_level("WARNING"):
+            status = caches.load_snapshot(str(path))
+        assert status.status == "version-mismatch"
+        assert status.snapshot_version == 999
+        assert status.expected_version == CACHE_FORMAT_VERSION
+        assert str(path) in caplog.text
+        assert "999" in caplog.text and str(CACHE_FORMAT_VERSION) in caplog.text
+        assert "version" in status.summary()
+
+    def test_unpickling_error_logs_path(self, tmp_path, caplog):
+        path = tmp_path / "snap.pkl"
+        path.write_bytes(b"definitely not a pickle")
+        caches = CacheSet()
+        with caplog.at_level("WARNING"):
+            status = caches.load_snapshot(str(path))
+        assert status.status == "unreadable" and status.error
+        assert str(path) in caplog.text
