@@ -3,10 +3,13 @@
 PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 export PYTHONPATH
 
-.PHONY: test smoke check
+.PHONY: test smoke check lint
 
 test:
 	python -m pytest -x -q
+
+lint:
+	python -m repro.cli lint
 
 smoke:
 	python -m repro.cli run figure5 --smoke

@@ -24,4 +24,10 @@ def pytest_configure(config):
     """
     from repro.runtime import default_context
 
+    # The static plan verifier is on under the test suite (and CI): every
+    # plan compile_plan() produces during tier-1 is verified before it enters
+    # the cache.  Verification runs once per memoized plan, so the cost is
+    # noise; the hot path keeps the knob off by default.  setdefault so an
+    # explicit REPRO_VERIFY_PLANS=0 still wins for A/B timing.
+    os.environ.setdefault("REPRO_VERIFY_PLANS", "1")
     default_context()

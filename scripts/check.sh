@@ -13,21 +13,17 @@ RESULTS_DIR="$(mktemp -d)"
 export REPRO_RESULTS_DIR="$RESULTS_DIR"
 trap 'rm -rf "$RESULTS_DIR"' EXIT
 
-echo "== runtime guard: no REPRO_* env reads outside src/repro/runtime =="
-# Every REPRO_* knob must be parsed in exactly one place —
-# RuntimeConfig.from_env() in src/repro/runtime/ (the process edge).  Any
-# os.environ/os.getenv line mentioning a REPRO_* name elsewhere in src/
-# reintroduces the global-knob soup this guard exists to prevent.  (The
-# deprecation shims in src/repro/search/cache.py are covered too: they
-# delegate to the runtime package instead of reading the environment.)
-violations=$(grep -rnE 'os\.(environ|getenv)' src/repro --include='*.py' \
-  | grep -v '^src/repro/runtime/' | grep 'REPRO_' || true)
-if [ -n "$violations" ]; then
-  echo "FAIL: REPRO_* environment reads outside src/repro/runtime:" >&2
-  echo "$violations" >&2
-  exit 1
-fi
-echo "OK: environment knobs are confined to the runtime package"
+echo "== static analysis: repro lint (invariant rules + reviewed baseline) =="
+# The AST-based analyzer replaces the old grep guard.  It enforces, against
+# src/repro/ with scripts/lint_baseline.txt as the reviewed allowlist:
+#   env-confinement   REPRO_* env reads only in src/repro/runtime/ (including
+#                     aliased imports and computed keys grep could not see)
+#   mutable-global    no module-level mutable state outside runtime/
+#   nondeterminism    no ambient RNG / wall-clock / set-iteration entropy
+#   runtime-threading runtime= is forwarded to runtime-accepting callees
+# Any unbaselined finding — or stale baseline entry — fails the job.
+python -m repro.cli lint
+echo "OK: static invariants hold (zero unbaselined findings)"
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

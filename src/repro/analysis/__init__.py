@@ -1,0 +1,42 @@
+"""Static analysis: the codebase lint engine and the execution-plan verifier.
+
+Level 1 (:mod:`~repro.analysis.engine`, :mod:`~repro.analysis.rules`,
+:mod:`~repro.analysis.baseline`) lints ``src/repro/`` itself, turning the
+project's reviewer-enforced invariants — env-knob confinement, no module
+globals, no ambient nondeterminism, explicit runtime threading — into
+machine-checked rules behind ``repro lint``.
+
+Level 2 (:mod:`~repro.analysis.plan_verifier`) verifies compiled
+:class:`~repro.codegen.plan.ExecutionPlan`s before first execution, behind
+the ``RuntimeConfig.verify_plans`` knob.
+
+This package must stay import-light and free of repro's numeric machinery at
+import time: the lint level analyzes source text only (it never imports the
+code under analysis), and the plan verifier imports :mod:`repro.codegen.plan`
+lazily through its own module so ``repro lint`` works even in a broken tree.
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, save_baseline
+from repro.analysis.engine import (
+    Finding,
+    LintEngine,
+    LintSyntaxError,
+    ModuleSource,
+    Rule,
+    collect_modules,
+)
+from repro.analysis.rules import ALL_RULES, make_rules
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintEngine",
+    "LintSyntaxError",
+    "ModuleSource",
+    "Rule",
+    "apply_baseline",
+    "collect_modules",
+    "load_baseline",
+    "make_rules",
+    "save_baseline",
+]

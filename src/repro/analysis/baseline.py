@@ -1,0 +1,66 @@
+"""Reviewed-baseline handling for the lint engine.
+
+A baseline file records findings that were reviewed and deliberately kept
+(e.g. the autograd on/off switch in ``nn/tensor.py``: a process-global by
+design, because gradient mode is a per-process interpreter flag, not
+per-context state).  Each line is one finding's stable key::
+
+    <rule-id> <path> <key>    # optional trailing comment
+
+Keys are content-based — symbol names and expressions, never line numbers —
+so a baseline survives unrelated edits to the same file.  The contract is
+symmetric: a finding *not* in the baseline fails the lint, and a baseline
+entry that no longer matches any finding is reported as stale (the exception
+was fixed; the entry must be deleted so it cannot mask a regression).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.engine import Finding
+
+_HEADER = """\
+# repro lint baseline — reviewed, deliberate exceptions.
+# One finding key per line: <rule-id> <path> <key>   (trailing # comments ok)
+# Regenerate with: repro lint --write-baseline <this file>
+"""
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """The set of suppressed finding keys (missing file -> empty set)."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    keys: set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        entry = line.split("#", 1)[0].strip()
+        if entry:
+            keys.add(entry)
+    return keys
+
+
+def save_baseline(path: Path | str, findings: Sequence[Finding]) -> None:
+    """Write the current findings as the new reviewed baseline."""
+    lines = sorted({finding.baseline_key() for finding in findings})
+    Path(path).write_text(_HEADER + "".join(f"{line}\n" for line in lines),
+                          encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: set[str]
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split findings into (new, suppressed) and report stale baseline keys."""
+    new: list[Finding] = []
+    suppressed: list[Finding] = []
+    seen: set[str] = set()
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in baseline:
+            suppressed.append(finding)
+            seen.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(baseline - seen)
+    return new, suppressed, stale

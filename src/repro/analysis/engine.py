@@ -1,0 +1,199 @@
+"""The codebase-level lint engine: parse once, run every rule, report findings.
+
+The engine is deliberately small: :func:`collect_modules` parses every Python
+file under the analysis root exactly once into :class:`ModuleSource` objects
+(path + shared AST), and :class:`LintEngine` runs a list of
+:class:`~repro.analysis.rules.Rule` instances over them.  Rules that need a
+whole-codebase symbol table (e.g. the runtime-threading rule, which must know
+every function that accepts a ``runtime`` argument) implement ``prepare``,
+which the engine calls with the full module list before any per-module
+checking starts.
+
+Findings carry a **stable key** (a symbol, an environment-variable name, a
+call target — never a line number), so the baseline file in
+:mod:`repro.analysis.baseline` survives unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str  # posix-style path relative to the analysis root
+    line: int
+    col: int
+    message: str
+    #: stable, line-number-free identifier used for baseline matching.
+    key: str
+
+    def baseline_key(self) -> str:
+        return f"{self.rule} {self.path} {self.key}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "key": self.key,
+        }
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    relpath: str  # posix-style, relative to the analysis root
+    tree: ast.Module
+
+    def in_directory(self, name: str) -> bool:
+        """Whether the module lives under a directory called ``name``."""
+        return name in Path(self.relpath).parts[:-1]
+
+
+class LintSyntaxError(Exception):
+    """A file under analysis failed to parse (reported, never swallowed)."""
+
+
+def collect_modules(
+    paths: Sequence[Path | str], root: Path | str
+) -> list[ModuleSource]:
+    """Parse every ``.py`` file under ``paths`` once, relative to ``root``."""
+    root = Path(root).resolve()
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry).resolve()
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    modules: list[ModuleSource] = []
+    for path in files:
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            raise LintSyntaxError(f"{relpath}: {exc}") from exc
+        modules.append(ModuleSource(path=path, relpath=relpath, tree=tree))
+    return modules
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set :attr:`rule_id` / :attr:`description` and implement
+    :meth:`check`; rules that need whole-codebase context first implement
+    :meth:`prepare`, called once with every module before checking starts.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def prepare(self, modules: Sequence[ModuleSource]) -> None:  # pragma: no cover
+        """Optional whole-codebase pass before per-module checking."""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str, key: str
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=module.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            key=key,
+        )
+
+
+class LintEngine:
+    """Runs a set of rules over a set of parsed modules."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = list(rules)
+
+    def run(self, modules: Sequence[ModuleSource]) -> list[Finding]:
+        for rule in self.rules:
+            rule.prepare(modules)
+        findings: list[Finding] = []
+        for module in modules:
+            for rule in self.rules:
+                findings.extend(rule.check(module))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers
+# ---------------------------------------------------------------------------
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin for every import in the module.
+
+    ``import os`` -> ``{"os": "os"}``; ``import numpy as np`` ->
+    ``{"np": "numpy"}``; ``from os import environ as env`` ->
+    ``{"env": "os.environ"}``.  Covers nested imports too (function-local
+    ``from repro.runtime import current`` style), which is exactly where
+    aliasing tends to hide from grep.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = (
+                    name.name if name.asname else name.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve_dotted(node: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The fully-qualified dotted name of an expression, alias-expanded.
+
+    ``np.random.default_rng`` with ``{"np": "numpy"}`` resolves to
+    ``numpy.random.default_rng``; expressions not rooted in an imported name
+    (method calls on locals, subscripts, calls) resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = aliases.get(node.id)
+    if origin is None:
+        return None
+    parts.append(origin)
+    return ".".join(reversed(parts))
+
+
+def describe_expr(node: ast.AST, limit: int = 60) -> str:
+    """A compact source rendering of an expression (for messages and keys)."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures are exotic
+        text = type(node).__name__
+    return text if len(text) <= limit else text[: limit - 3] + "..."

@@ -1,0 +1,324 @@
+"""Static verification of compiled :class:`~repro.codegen.plan.ExecutionPlan`s.
+
+:func:`compile_plan` bakes every transpose order, reshape target, unfold
+gather index vector and einsum subscript into a flat step list at compile
+time.  Nothing re-checks that geometry before the first forward call — a
+compiler bug (or a corrupted cached plan) surfaces as a numpy broadcast
+error deep inside proxy training, or worse, as silently wrong numerics.
+
+:func:`verify_plan` replays the plan **abstractly**: it propagates a shape
+through every step without allocating a single array, and checks each step's
+precomputed metadata against the shape that actually reaches it —
+
+* transpose orders are permutations and their cached inverses invert them;
+* reshapes preserve element count and match their recorded input shape;
+* roll/sum/stride axes are in bounds;
+* unfold gather indices are within the padded extent and the
+  pad → gather → reshape → transpose pipeline is internally consistent;
+* einsum subscripts have one subscript per operand, one label per axis,
+  consistent label extents across operands, and an output that only uses
+  input labels;
+* every differentiable step has a backward: contraction operands (value and
+  weights) each carry a VJP recipe whose recorded full shape matches the
+  operand, weight indices address real weights, and view steps expose a
+  callable ``grad``;
+* the final propagated shape equals the plan's declared output shape.
+
+Violations raise :class:`PlanVerificationError` naming the step index, the
+step itself and the inferred shapes, so a failure reads like a stack trace
+through the compiled program instead of a broadcast error at train time.
+
+Verification is wired into :func:`repro.codegen.plan.cached_plan` behind the
+``RuntimeConfig.verify_plans`` knob (``REPRO_VERIFY_PLANS``): it runs once
+per memoized plan, so it is effectively free under tests and CI while
+staying off the training hot path by default.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.codegen.plan import (
+    BroadcastStep,
+    ContractionStep,
+    ExecutionPlan,
+    ReshapeStep,
+    RollStep,
+    StrideSliceStep,
+    SumStep,
+    TransposeStep,
+    UnfoldStep,
+)
+
+
+class PlanVerificationError(Exception):
+    """A compiled plan failed static verification.
+
+    Carries enough structure to debug without re-running the compiler:
+    ``step_index`` / ``step`` locate the offending step inside
+    ``plan.describe()`` and ``shape`` is the abstract shape that reached it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        step_index: int | None = None,
+        step: object | None = None,
+        shape: tuple[int, ...] | None = None,
+    ) -> None:
+        location = ""
+        if step_index is not None:
+            location = f"step {step_index} ({step!r})"
+            if shape is not None:
+                location += f" with input shape {shape}"
+            location += ": "
+        super().__init__(location + message)
+        self.step_index = step_index
+        self.step = step
+        self.shape = shape
+
+
+def verify_plan(plan: ExecutionPlan) -> None:
+    """Statically verify ``plan``; raises :class:`PlanVerificationError`."""
+    shape = tuple(plan.input_shape)
+    for index, step in enumerate(plan.steps):
+        def fail(message: str) -> None:
+            raise PlanVerificationError(message, index, step, shape)
+
+        if isinstance(step, TransposeStep):
+            shape = _verify_transpose(step, shape, fail)
+        elif isinstance(step, ReshapeStep):
+            shape = _verify_reshape(step, shape, fail)
+        elif isinstance(step, RollStep):
+            shape = _verify_roll(step, shape, fail)
+        elif isinstance(step, BroadcastStep):
+            shape = _verify_broadcast(step, shape, fail)
+        elif isinstance(step, SumStep):
+            shape = _verify_sum(step, shape, fail)
+        elif isinstance(step, StrideSliceStep):
+            shape = _verify_stride(step, shape, fail)
+        elif isinstance(step, UnfoldStep):
+            shape = _verify_unfold(step, shape, fail)
+        elif isinstance(step, ContractionStep):
+            shape = _verify_contraction(step, shape, plan.weight_count, fail)
+        else:
+            fail(f"unknown step type {type(step).__name__}")
+        if not isinstance(step, ContractionStep) and not callable(
+            getattr(step, "grad", None)
+        ):
+            fail("step has no callable grad — backward coverage is broken")
+    if shape != tuple(plan.output_shape):
+        raise PlanVerificationError(
+            f"propagated output shape {shape} != declared output shape "
+            f"{tuple(plan.output_shape)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Per-step shape transfer functions
+# ---------------------------------------------------------------------------
+
+
+def _verify_transpose(step: TransposeStep, shape, fail) -> tuple[int, ...]:
+    order = tuple(step.order)
+    if sorted(order) != list(range(len(order))):
+        fail(f"order {order} is not a permutation")
+    if len(order) != len(shape):
+        fail(f"order has {len(order)} axes, input has {len(shape)}")
+    expected_inverse = tuple(int(i) for i in np.argsort(order))
+    if tuple(step.inverse) != expected_inverse:
+        fail(f"cached inverse {step.inverse} does not invert order {order}")
+    return tuple(shape[i] for i in order)
+
+
+def _verify_reshape(step: ReshapeStep, shape, fail) -> tuple[int, ...]:
+    if tuple(step.input_shape) != shape:
+        fail(f"recorded input shape {tuple(step.input_shape)} != actual {shape}")
+    if math.prod(step.shape) != math.prod(shape):
+        fail(
+            f"reshape to {tuple(step.shape)} changes element count "
+            f"({math.prod(shape)} -> {math.prod(step.shape)})"
+        )
+    return tuple(step.shape)
+
+
+def _verify_roll(step: RollStep, shape, fail) -> tuple[int, ...]:
+    if not -len(shape) <= step.axis < len(shape):
+        fail(f"roll axis {step.axis} out of bounds for rank {len(shape)}")
+    return shape
+
+
+def _verify_broadcast(step: BroadcastStep, shape, fail) -> tuple[int, ...]:
+    target = tuple(step.shape)
+    if target[:-1] != shape:
+        fail(f"broadcast target {target} does not extend input {shape}")
+    if target[-1] < 1:
+        fail(f"broadcast extent {target[-1]} must be positive")
+    return target
+
+
+def _verify_sum(step: SumStep, shape, fail) -> tuple[int, ...]:
+    if tuple(step.input_shape) != shape:
+        fail(f"recorded input shape {tuple(step.input_shape)} != actual {shape}")
+    axis = step.axis
+    if not -len(shape) <= axis < len(shape):
+        fail(f"sum axis {axis} out of bounds for rank {len(shape)}")
+    axis %= len(shape)
+    return shape[:axis] + shape[axis + 1 :]
+
+
+def _verify_stride(step: StrideSliceStep, shape, fail) -> tuple[int, ...]:
+    if tuple(step.input_shape) != shape:
+        fail(f"recorded input shape {tuple(step.input_shape)} != actual {shape}")
+    if len(step.slices) != len(shape):
+        fail(f"{len(step.slices)} slices for rank {len(shape)}")
+    return tuple(
+        len(range(*sl.indices(extent))) for sl, extent in zip(step.slices, shape)
+    )
+
+
+def _verify_unfold(step: UnfoldStep, shape, fail) -> tuple[int, ...]:
+    rank = len(shape)
+    if not 0 <= step.axis < rank:
+        fail(f"unfold axis {step.axis} out of bounds for rank {rank}")
+    if len(step.pad_width) != rank:
+        fail(f"pad_width has {len(step.pad_width)} entries for rank {rank}")
+    if any(lo < 0 or hi < 0 for lo, hi in step.pad_width):
+        fail(f"negative padding in {tuple(step.pad_width)}")
+    padded = tuple(
+        extent + lo + hi for extent, (lo, hi) in zip(shape, step.pad_width)
+    )
+    if tuple(step.padded_shape) != padded:
+        fail(f"recorded padded shape {tuple(step.padded_shape)} != derived {padded}")
+    if step.extent != shape[step.axis]:
+        fail(f"recorded extent {step.extent} != axis extent {shape[step.axis]}")
+
+    gather = np.asarray(step.gather)
+    if gather.ndim != 1 or not np.issubdtype(gather.dtype, np.integer):
+        fail("gather indices must be a flat integer vector")
+    if gather.size != step.extent * step.window:
+        fail(
+            f"gather has {gather.size} indices, expected extent*window = "
+            f"{step.extent * step.window}"
+        )
+    if gather.size and (gather.min() < 0 or gather.max() >= padded[step.axis]):
+        fail(
+            f"gather indices [{gather.min()}, {gather.max()}] out of bounds for "
+            f"padded extent {padded[step.axis]}"
+        )
+
+    taken = padded[: step.axis] + (int(gather.size),) + padded[step.axis + 1 :]
+    if math.prod(step.reshape_shape) != math.prod(taken):
+        fail(
+            f"reshape to {tuple(step.reshape_shape)} changes element count of "
+            f"gathered shape {taken}"
+        )
+    axes = tuple(step.transpose_axes)
+    if sorted(axes) != list(range(len(step.reshape_shape))):
+        fail(f"transpose axes {axes} not a permutation of the reshaped rank")
+    if tuple(step.inverse_axes) != tuple(int(i) for i in np.argsort(axes)):
+        fail(f"cached inverse axes {step.inverse_axes} do not invert {axes}")
+    reshaped = tuple(step.reshape_shape)
+    out = tuple(reshaped[i] for i in axes)
+    expected = shape + (step.window,)
+    if out != expected:
+        fail(f"unfold produces {out}, expected {expected}")
+    return out
+
+
+def _parse_subscripts(subscripts: str, fail) -> tuple[list[str], str]:
+    if "->" not in subscripts:
+        fail(f"subscripts {subscripts!r} missing '->'")
+    lhs, output_sub = subscripts.split("->", 1)
+    return lhs.split(","), output_sub
+
+
+def _verify_contraction(
+    step: ContractionStep, shape, weight_count: int, fail
+) -> tuple[int, ...]:
+    operand_subs, output_sub = _parse_subscripts(step.subscripts, fail)
+    if len(operand_subs) != len(step.operands):
+        fail(
+            f"{len(operand_subs)} einsum subscripts for {len(step.operands)} operands"
+        )
+    if len(step.operand_shapes) != len(step.operands):
+        fail(
+            f"{len(step.operand_shapes)} operand shapes for {len(step.operands)} operands"
+        )
+
+    extent_of: dict[str, int] = {}
+    value_positions: list[int] = []
+    for position, ((kind, payload), sub, op_shape) in enumerate(
+        zip(step.operands, operand_subs, step.operand_shapes)
+    ):
+        if len(sub) != len(op_shape):
+            fail(
+                f"operand {position} subscript {sub!r} has {len(sub)} labels for "
+                f"shape {tuple(op_shape)}"
+            )
+        for label, extent in zip(sub, op_shape):
+            if extent_of.setdefault(label, extent) != extent:
+                fail(
+                    f"label {label!r} has extent {extent} in operand {position} "
+                    f"but {extent_of[label]} elsewhere"
+                )
+        if kind == "value":
+            value_positions.append(position)
+            if tuple(op_shape) != shape:
+                fail(
+                    f"value operand compiled for shape {tuple(op_shape)}, "
+                    f"got {shape}"
+                )
+        elif kind == "weight":
+            if not isinstance(payload, int) or not 0 <= payload < weight_count:
+                fail(
+                    f"weight operand {position} addresses weight {payload!r} "
+                    f"(plan has {weight_count} weights)"
+                )
+        elif kind == "ones":
+            if tuple(op_shape) != (payload,):
+                fail(
+                    f"ones operand {position} has extent {payload} but shape "
+                    f"{tuple(op_shape)}"
+                )
+        else:
+            fail(f"unknown operand kind {kind!r} at position {position}")
+    if len(value_positions) != 1:
+        fail(f"expected exactly one value operand, found {len(value_positions)}")
+
+    input_labels = set().union(*operand_subs)
+    unknown = [label for label in output_sub if label not in input_labels]
+    if unknown:
+        fail(f"output labels {unknown} appear in no operand subscript")
+    if len(set(output_sub)) != len(output_sub):
+        fail(f"output subscript {output_sub!r} repeats a label")
+
+    out_shape = tuple(extent_of[label] for label in output_sub)
+    if tuple(step.output_shape) != out_shape:
+        fail(
+            f"recorded output shape {tuple(step.output_shape)} != derived "
+            f"{out_shape}"
+        )
+
+    # Backward coverage: every differentiable operand carries a VJP recipe
+    # compiled against the operand's true shape.
+    for position, (kind, _) in enumerate(step.operands):
+        if kind == "ones":
+            if position in step.backwards:
+                fail(f"ones operand {position} has a spurious backward recipe")
+            continue
+        recipe = step.backwards.get(position)
+        if recipe is None:
+            fail(
+                f"{kind} operand {position} has no backward recipe — its "
+                "gradient would silently vanish"
+            )
+        if tuple(recipe.full_shape) != tuple(step.operand_shapes[position]):
+            fail(
+                f"backward recipe for operand {position} targets shape "
+                f"{tuple(recipe.full_shape)}, operand has "
+                f"{tuple(step.operand_shapes[position])}"
+            )
+    return out_shape

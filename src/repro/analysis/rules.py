@@ -1,0 +1,494 @@
+"""The lint rule catalog.
+
+Four rules guard the invariants PR 4 and PR 5 established dynamically:
+
+* ``env-confinement`` — ``REPRO_*`` environment reads happen only in
+  ``src/repro/runtime/`` (the :func:`RuntimeConfig.from_env` process edge).
+* ``mutable-global`` — no module-level mutable state (caches, counters,
+  RNGs) outside ``runtime/``; process-global state is what broke
+  serial-vs-sharded parity before contexts existed.
+* ``nondeterminism`` — no ambient randomness (global ``random.*`` /
+  ``np.random.*``, unseeded generators), no wall-clock reads in
+  search/codegen/cache-key paths, no iteration over unordered ``set``s.
+* ``runtime-threading`` — a function that accepts ``runtime=`` must forward
+  it to every callee that also accepts ``runtime=``; a dropped context
+  silently re-resolves the ambient one, which is exactly the bug class the
+  explicit-context API was built to kill.
+
+Rules are pure AST analyses: no imports of the code under analysis, no
+execution.  Every finding's ``key`` is content-based (symbol or expression,
+never a line number) so baselines survive unrelated edits.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Sequence
+
+from repro.analysis.engine import (
+    Finding,
+    ModuleSource,
+    Rule,
+    describe_expr,
+    import_aliases,
+    resolve_dotted,
+)
+
+#: directory that is allowed to read ``REPRO_*`` knobs and hold process state.
+RUNTIME_DIR = "runtime"
+
+
+class EnvConfinementRule(Rule):
+    """``REPRO_*`` environment reads outside ``src/repro/runtime/``.
+
+    Catches what the old ``grep 'os\\.(environ|getenv)'`` guard caught, plus
+    what it missed: aliased imports (``from os import environ as env``,
+    ``import os as _os``) and computed keys (``os.environ[prefix + name]``),
+    which cannot be proven to avoid the ``REPRO_`` namespace and are
+    therefore flagged too.
+    """
+
+    rule_id = "env-confinement"
+    description = "REPRO_* environment reads outside src/repro/runtime/"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.in_directory(RUNTIME_DIR):
+            return
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            access = self._environ_access(node, aliases)
+            if access is None:
+                continue
+            kind, key_expr = access
+            yield from self._judge(module, node, kind, key_expr)
+
+    def _environ_access(
+        self, node: ast.AST, aliases: dict[str, str]
+    ) -> tuple[str, ast.AST | None] | None:
+        """(description, key expression) when ``node`` reads the environment."""
+        if isinstance(node, ast.Subscript):
+            # Only reads: writes/deletes (restoring saved values, test setup)
+            # steer the environment rather than consume it.
+            if isinstance(node.ctx, ast.Load):
+                if resolve_dotted(node.value, aliases) == "os.environ":
+                    return "os.environ[...]", node.slice
+        elif isinstance(node, ast.Call):
+            target = resolve_dotted(node.func, aliases)
+            if target == "os.getenv" and node.args:
+                return "os.getenv(...)", node.args[0]
+            if target == "os.environ.get" and node.args:
+                return "os.environ.get(...)", node.args[0]
+            # environ.get(...) through `from os import environ [as alias]`
+            if (
+                target is None
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and resolve_dotted(node.func.value, aliases) == "os.environ"
+                and node.args
+            ):
+                return "environ.get(...)", node.args[0]
+        elif isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.In, ast.NotIn)):
+                    if resolve_dotted(comparator, aliases) == "os.environ":
+                        return "membership test on os.environ", node.left
+        return None
+
+    def _judge(
+        self, module: ModuleSource, node: ast.AST, kind: str, key_expr: ast.AST | None
+    ) -> Iterator[Finding]:
+        if isinstance(key_expr, ast.Constant) and isinstance(key_expr.value, str):
+            name = key_expr.value
+            if name.startswith("REPRO_"):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{kind} reads {name!r} outside runtime/ — route it through "
+                    "RuntimeConfig.from_env()",
+                    key=name,
+                )
+            return
+        # A computed (or missing) key cannot be proven to stay out of the
+        # REPRO_* namespace, so confinement cannot be verified statically.
+        rendered = describe_expr(key_expr) if key_expr is not None else "<unknown>"
+        yield self.finding(
+            module,
+            node,
+            f"{kind} with computed key {rendered} outside runtime/ — cannot "
+            "prove it avoids the REPRO_* namespace",
+            key=rendered,
+        )
+
+
+#: constructors whose module-level result is process-global mutable state.
+_MUTABLE_FACTORIES = {
+    "dict",
+    "list",
+    "set",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+    "collections.Counter",
+    "collections.deque",
+    "itertools.count",
+    "numpy.random.default_rng",
+    "random.Random",
+    "threading.Lock",
+    "threading.RLock",
+}
+
+
+class MutableGlobalRule(Rule):
+    """Module-level mutable state outside ``runtime/``.
+
+    Flags module-level assignments of dict/list/set displays and
+    comprehensions, known mutable-factory calls (``defaultdict``,
+    ``itertools.count``, ``random.Random``, ...), and any ``global``
+    statement rebinding module state from a function body.  Nonempty
+    ALL_CAPS display assignments are treated as constant lookup tables and
+    skipped (the idiom for static registries); empty displays are always
+    flagged — an empty module-level ``{}`` is a cache in waiting.
+    """
+
+    rule_id = "mutable-global"
+    description = "module-level mutable state outside src/repro/runtime/"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.in_directory(RUNTIME_DIR):
+            return
+        aliases = import_aliases(module.tree)
+        for stmt in module.tree.body:
+            yield from self._check_assignment(module, stmt, aliases)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"'global {name}' rebinds module state from a function "
+                        "— hold it on a RuntimeContext instead",
+                        key=f"global:{name}",
+                    )
+
+    def _check_assignment(
+        self, module: ModuleSource, stmt: ast.stmt, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            return
+        names = [t.id for t in targets if isinstance(t, ast.Name)]
+        if not names or all(n.startswith("__") and n.endswith("__") for n in names):
+            return
+        verdict = self._mutable_value(value, aliases)
+        if verdict is None:
+            return
+        kind, is_display = verdict
+        if is_display and all(n.isupper() for n in names) and self._nonempty(value):
+            return  # constant ALL_CAPS lookup table
+        for name in names:
+            yield self.finding(
+                module,
+                stmt,
+                f"module-level mutable {kind} {name!r} — process-global state "
+                "belongs on a RuntimeContext",
+                key=name,
+            )
+
+    @staticmethod
+    def _nonempty(value: ast.AST) -> bool:
+        if isinstance(value, (ast.Dict,)):
+            return bool(value.keys)
+        if isinstance(value, (ast.List, ast.Set)):
+            return bool(value.elts)
+        return True  # comprehensions produce computed, non-table contents
+
+    @staticmethod
+    def _mutable_value(
+        value: ast.AST, aliases: dict[str, str]
+    ) -> tuple[str, bool] | None:
+        """(kind, is_constant_table_candidate) when the value is mutable."""
+        if isinstance(value, ast.Dict):
+            return "dict", True
+        if isinstance(value, ast.List):
+            return "list", True
+        if isinstance(value, ast.Set):
+            return "set", True
+        if isinstance(value, (ast.DictComp, ast.ListComp, ast.SetComp)):
+            return "comprehension", False
+        if isinstance(value, ast.Call):
+            target = resolve_dotted(value.func, aliases)
+            if target in _MUTABLE_FACTORIES:
+                return f"{target}()", False
+            bare = target.rsplit(".", 1)[-1] if target else None
+            if bare in {"defaultdict", "OrderedDict", "Counter", "deque"}:
+                return f"{bare}()", False
+        return None
+
+
+#: stateful functions of the global `random` module generator.
+_RANDOM_STATEFUL = {
+    "seed", "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "triangular",
+    "vonmisesvariate", "paretovariate", "weibullvariate", "getrandbits",
+    "randbytes",
+}
+
+#: stateful functions of numpy's legacy global RandomState.
+_NP_RANDOM_STATEFUL = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "bytes", "shuffle", "permutation", "choice", "uniform",
+    "normal", "standard_normal", "beta", "binomial", "poisson",
+    "exponential", "gamma", "random_integers",
+}
+
+#: directories where wall-clock reads poison cache keys or reproducibility.
+_CLOCK_SENSITIVE_DIRS = ("search", "codegen", "core", "compiler", "results")
+
+
+class NondeterminismRule(Rule):
+    """Ambient randomness, wall-clock reads and unordered-set iteration.
+
+    The determinism contract (PR 4: bit-identical serial vs sharded runs)
+    only holds if every source of entropy is owned by a context-seeded
+    generator.  Flags global ``random.*`` / ``np.random.*`` calls, unseeded
+    ``np.random.default_rng()``, ``time.time()`` / ``datetime.now()`` in
+    search/codegen/cache-key paths, and materializing or iterating a ``set``
+    without sorting (``sorted(set(...))`` is fine; ``list(set(...))`` leaks
+    hash-seed ordering into whatever consumes it).
+    """
+
+    rule_id = "nondeterminism"
+    description = "ambient RNG, wall-clock or set-iteration nondeterminism"
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        clock_sensitive = any(module.in_directory(d) for d in _CLOCK_SENSITIVE_DIRS)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases, clock_sensitive)
+            elif isinstance(node, ast.For):
+                yield from self._check_set_iteration(module, node.iter, aliases)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_set_iteration(module, generator.iter, aliases)
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        node: ast.Call,
+        aliases: dict[str, str],
+        clock_sensitive: bool,
+    ) -> Iterator[Finding]:
+        target = resolve_dotted(node.func, aliases)
+        if target is None:
+            # Builtins are never imported, so they don't resolve: catch
+            # tuple(set(...)) / list(set(...)) here.
+            if isinstance(node.func, ast.Name) and node.func.id in ("tuple", "list"):
+                if node.args and self._is_set_expr(node.args[0], aliases):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{node.func.id}(set(...)) materializes hash order — "
+                        "wrap in sorted(...) for a stable sequence",
+                        key=f"{node.func.id}(set)",
+                    )
+            return
+        if target.startswith("random."):
+            name = target.split(".", 1)[1]
+            if name in _RANDOM_STATEFUL:
+                yield self.finding(
+                    module,
+                    node,
+                    f"global random.{name}() uses the process-wide generator — "
+                    "use a seeded random.Random or the context RNG",
+                    key=target,
+                )
+        elif target in ("numpy.random.default_rng", "np.random.default_rng"):
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    "np.random.default_rng() without a seed draws OS entropy — "
+                    "seed it from the runtime context",
+                    key=target,
+                )
+        elif target.startswith("numpy.random."):
+            name = target.rsplit(".", 1)[1]
+            if name in _NP_RANDOM_STATEFUL:
+                yield self.finding(
+                    module,
+                    node,
+                    f"global np.random.{name}() uses numpy's process-wide state — "
+                    "use a context-owned Generator",
+                    key=target,
+                )
+        elif target in ("time.time", "time.time_ns", "datetime.datetime.now",
+                        "datetime.datetime.utcnow", "datetime.now", "datetime.utcnow"):
+            if clock_sensitive:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read {target}() in a search/codegen/cache-key "
+                    "path makes results time-dependent",
+                    key=target,
+                )
+    def _check_set_iteration(
+        self, module: ModuleSource, iter_expr: ast.AST, aliases: dict[str, str]
+    ) -> Iterator[Finding]:
+        if self._is_set_expr(iter_expr, aliases):
+            yield self.finding(
+                module,
+                iter_expr,
+                "iterating a set leaks hash order — sort before iterating "
+                "anything that feeds a fingerprint or cache key",
+                key=f"iter:{describe_expr(iter_expr)}",
+            )
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST, aliases: dict[str, str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return resolve_dotted(node.func, aliases) is None and (
+                isinstance(node.func, ast.Name) and node.func.id == "set"
+            )
+        return False
+
+
+class RuntimeThreadingRule(Rule):
+    """Functions that accept ``runtime=`` but drop it when calling a callee
+    that also accepts ``runtime=``.
+
+    A dropped context silently falls back to the ambient resolution
+    (:func:`repro.runtime.current`), which is correct only by accident: under
+    ``with other_ctx.activate():`` the callee would cache into the wrong
+    context.  The rule builds a whole-codebase set of function names whose
+    signature includes ``runtime`` (``prepare``), excluding names that are
+    ambiguous (also defined somewhere *without* a ``runtime`` parameter) or
+    shadow builtins, then flags calls to those names from inside
+    runtime-accepting functions when no ``runtime`` is passed positionally,
+    by keyword, or via ``**kwargs``.
+    """
+
+    rule_id = "runtime-threading"
+    description = "runtime= accepted but not forwarded to a runtime-accepting callee"
+
+    def __init__(self) -> None:
+        self._known: set[str] = set()
+
+    def prepare(self, modules: Sequence[ModuleSource]) -> None:
+        with_runtime: set[str] = set()
+        without_runtime: set[str] = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    bucket = (
+                        with_runtime if _has_runtime_param(node) else without_runtime
+                    )
+                    bucket.add(node.name)
+        self._known = with_runtime - without_runtime - set(dir(builtins))
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _has_runtime_param(node):
+                    yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleSource, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in self._walk_scope(func):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _bare_callee(node.func)
+            if callee is None or callee not in self._known or callee == func.name:
+                continue
+            if _forwards_runtime(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"{func.name}() accepts runtime= but calls {callee}() without "
+                "forwarding it — the callee will re-resolve the ambient context",
+                key=f"{func.name}->{callee}",
+            )
+
+    @classmethod
+    def _walk_scope(cls, func: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body, descending into nested defs only when the
+        nested def does not rebind ``runtime`` with its own parameter."""
+        for child in ast.iter_child_nodes(func):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _has_runtime_param(child):
+                    continue
+                yield from cls._walk_scope(child)
+                continue
+            yield child
+            yield from cls._walk_descend(child)
+
+    @classmethod
+    def _walk_descend(cls, node: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _has_runtime_param(child):
+                    continue
+                yield from cls._walk_scope(child)
+                continue
+            yield child
+            yield from cls._walk_descend(child)
+
+
+def _has_runtime_param(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    args = func.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    return "runtime" in names
+
+
+def _bare_callee(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _forwards_runtime(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg is None:  # **kwargs — assume it may carry runtime
+            return True
+        if keyword.arg == "runtime":
+            return True
+    for arg in call.args:
+        if isinstance(arg, ast.Name) and arg.id == "runtime":
+            return True
+        if isinstance(arg, ast.Attribute) and arg.attr == "runtime":
+            return True
+        if isinstance(arg, ast.Starred):
+            return True
+    return False
+
+
+ALL_RULES = (
+    EnvConfinementRule,
+    MutableGlobalRule,
+    NondeterminismRule,
+    RuntimeThreadingRule,
+)
+
+
+def make_rules(rule_ids: Sequence[str] | None = None) -> list[Rule]:
+    """Instantiate the requested rules (all of them by default)."""
+    catalog = {cls.rule_id: cls for cls in ALL_RULES}
+    if rule_ids is None:
+        return [cls() for cls in ALL_RULES]
+    rules = []
+    for rule_id in rule_ids:
+        if rule_id not in catalog:
+            known = ", ".join(sorted(catalog))
+            raise ValueError(f"unknown rule {rule_id!r} (known rules: {known})")
+        rules.append(catalog[rule_id]())
+    return rules

@@ -29,6 +29,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.analysis.rules import ALL_RULES
 from repro.experiments.runner import (
     ExperimentConfig,
     experiment_descriptions,
@@ -165,6 +166,36 @@ def build_parser() -> argparse.ArgumentParser:
         "config", help="print the resolved runtime configuration and its provenance"
     )
     show.add_argument("--json", action="store_true", help="machine-readable output")
+
+    lint = subparsers.add_parser(
+        "lint", help="statically check src/repro against the project invariants"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE_ID",
+        choices=sorted(cls.rule_id for cls in ALL_RULES),
+        help="run only this rule (repeatable; default: every rule)",
+    )
+    lint.add_argument("--json", action="store_true", help="machine-readable findings")
+    lint.add_argument(
+        "--baseline",
+        help="baseline file of reviewed findings (default: scripts/lint_baseline.txt)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="report baselined findings too"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the reviewed baseline and exit",
+    )
     return parser
 
 
@@ -625,6 +656,89 @@ def cmd_config(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# repro lint
+# ---------------------------------------------------------------------------
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static invariant analyzer; exit non-zero on unbaselined findings.
+
+    The contract is symmetric: every finding must either be fixed or be a
+    reviewed baseline entry, and every baseline entry must still match a
+    finding — stale entries fail the lint too, so a fixed exception cannot
+    silently keep masking a future regression.
+    """
+    import repro
+    from repro.analysis import (
+        LintEngine,
+        LintSyntaxError,
+        apply_baseline,
+        collect_modules,
+        load_baseline,
+        make_rules,
+        save_baseline,
+    )
+
+    package_dir = Path(repro.__file__).resolve().parent
+    # Relative paths are computed against src/ so findings read "repro/...".
+    root = package_dir.parent
+    paths = [Path(p) for p in args.paths] if args.paths else [package_dir]
+    baseline_path = (
+        Path(args.baseline)
+        if args.baseline
+        else root.parent / "scripts" / "lint_baseline.txt"
+    )
+
+    try:
+        modules = collect_modules(paths, root)
+    except LintSyntaxError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    engine = LintEngine(make_rules(args.rules))
+    findings = engine.run(modules)
+
+    if args.write_baseline:
+        save_baseline(baseline_path, findings)
+        print(f"baseline with {len(findings)} finding(s) written to {baseline_path}")
+        return 0
+
+    baseline = set() if args.no_baseline else load_baseline(baseline_path)
+    # With --rule, entries of rules that did not run are neither suppressing
+    # nor stale — only judge the baseline against the rules that executed.
+    active = {rule.rule_id for rule in engine.rules}
+    baseline = {entry for entry in baseline if entry.split(" ", 1)[0] in active}
+    new, suppressed, stale = apply_baseline(findings, baseline)
+
+    if args.json:
+        payload = {
+            "files": len(modules),
+            "rules": sorted(active),
+            "findings": [finding.to_dict() for finding in new],
+            "suppressed": [finding.to_dict() for finding in suppressed],
+            "stale_baseline": stale,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if new or stale else 0
+
+    for finding in new:
+        print(finding.render())
+    if stale:
+        print(
+            "stale baseline entries (the finding was fixed — delete these lines "
+            f"from {baseline_path}):",
+            file=sys.stderr,
+        )
+        for entry in stale:
+            print(f"  {entry}", file=sys.stderr)
+    verdict = "FAIL" if new or stale else "OK"
+    print(
+        f"{verdict}: {len(new)} finding(s), {len(suppressed)} baselined, "
+        f"{len(stale)} stale baseline entries over {len(modules)} file(s)"
+    )
+    return 1 if new or stale else 0
+
+
+# ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
 
@@ -639,6 +753,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cmd_cache,
         "list": cmd_list,
         "config": cmd_config,
+        "lint": cmd_lint,
     }
     # The CLI entry is a process edge: REPRO_* variables are read exactly
     # once, into one explicit context that scopes the whole command.  The

@@ -36,18 +36,13 @@ class LoweringError(RuntimeError):
     """Raised when a pGraph cannot be lowered to eager tensor operations."""
 
 
-# Bound lazily on first use: importing repro.runtime at module scope would
-# pull configuration machinery into every lowering import.
-_runtime_resolver = None
+# The runtime package is import-light (stdlib only), so binding its resolver
+# at module scope costs nothing and avoids a memoized-global rebind.
+from repro.runtime import current as _current_runtime
 
 
 def _compiled_forward_enabled() -> bool:
-    global _runtime_resolver
-    if _runtime_resolver is None:
-        from repro.runtime import current
-
-        _runtime_resolver = current
-    return _runtime_resolver().config.compiled_forward
+    return _current_runtime().config.compiled_forward
 
 
 class _PlanBackward:

@@ -266,7 +266,15 @@ class ContractionStep:
     appearing in no other operand recovered by a precomputed broadcast.
     """
 
-    __slots__ = ("subscripts", "operands", "path", "backwards", "weight_positions")
+    __slots__ = (
+        "subscripts",
+        "operands",
+        "operand_shapes",
+        "output_shape",
+        "path",
+        "backwards",
+        "weight_positions",
+    )
 
     def __init__(
         self,
@@ -277,6 +285,10 @@ class ContractionStep:
         output_shape: tuple[int, ...],
     ) -> None:
         self.operands = tuple(operand_specs)  # ("value", None) | ("weight", i) | ("ones", extent)
+        # Retained for the static verifier (analysis.plan_verifier): the
+        # concrete operand/output geometry this einsum was compiled against.
+        self.operand_shapes = tuple(tuple(shape) for shape in operand_shapes)
+        self.output_shape = tuple(output_shape)
         self.subscripts = ",".join(operand_subs) + "->" + output_sub
         self.path = np.einsum_path(
             self.subscripts, *[_dummy(shape) for shape in operand_shapes], optimize="optimal"
@@ -789,12 +801,24 @@ def cached_plan(
 
     ``runtime`` is the :class:`~repro.runtime.RuntimeContext` whose plan
     cache is used; ``None`` resolves the ambient context.
+
+    Under ``RuntimeConfig.verify_plans`` every freshly compiled plan is
+    statically verified (:func:`repro.analysis.plan_verifier.verify_plan`)
+    before it enters the cache — verification happens once per memoized plan,
+    never per forward call, so the knob is safe to leave on in tests and CI.
     """
     # Lazy import: repro.search.__init__ pulls in codegen via substitution, so
     # a module-level import here would cycle.
     from repro.runtime import current
 
     context = runtime if runtime is not None else current()
-    return context.cached_plan(
-        plan_cache_key(operator, binding), lambda: compile_plan(operator, binding)
-    )
+
+    def compute() -> ExecutionPlan:
+        plan = compile_plan(operator, binding)
+        if context.config.verify_plans:
+            from repro.analysis.plan_verifier import verify_plan
+
+            verify_plan(plan)
+        return plan
+
+    return context.cached_plan(plan_cache_key(operator, binding), compute)

@@ -61,7 +61,10 @@ class MCTSConfig:
     iterations: int = 200
     exploration: float = 1.0
     rollout_depth: int | None = None  # defaults to options.max_depth
-    seed: int = 0
+    #: search RNG seed; ``None`` inherits the runtime context's root seed
+    #: (``RuntimeConfig.seed``), so `REPRO_SEED`/`with_overrides(seed=...)`
+    #: steer the tree search like every other seeded component.
+    seed: int | None = None
     #: maximum number of children to expand per node (limits branching).
     max_children: int = 64
     #: frontier width: how many rollouts each wave proposes before their
@@ -144,7 +147,13 @@ class MCTS:
     runtime: object | None = None
 
     def __post_init__(self) -> None:
-        self._rng = random.Random(self.config.seed)
+        seed = self.config.seed
+        if seed is None:
+            from repro.runtime import current  # lazy: avoids an import cycle
+
+            context = self.runtime if self.runtime is not None else current()
+            seed = context.config.seed
+        self._rng = random.Random(seed)
         self._root = _Node(PGraph.root(self.spec.output_shape, self.spec.input_shape), None, None)
         self.samples: list[SampleRecord] = []
         self._iteration = 0

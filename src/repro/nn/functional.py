@@ -452,7 +452,10 @@ def accuracy(logits, targets: np.ndarray) -> float:
 def dropout(a, rate: float, training: bool, rng: np.random.Generator | None = None) -> Tensor:
     if not training or rate <= 0.0:
         return as_tensor(a)
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        from repro.runtime import current  # lazy: keep nn importable standalone
+
+        rng = current().param_rng
     a = as_tensor(a)
     mask = (rng.random(a.shape) >= rate) / (1.0 - rate)
     return mul(a, Tensor(mask))

@@ -20,17 +20,24 @@ def _kaiming(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> n
     return rng.normal(0.0, scale, size=shape)
 
 
-_GLOBAL_RNG = np.random.default_rng(0)
-
-
 def default_rng() -> np.random.Generator:
-    return _GLOBAL_RNG
+    """The ambient context's parameter-initialization RNG.
+
+    Layers draw their initial weights from the runtime context
+    (:attr:`repro.runtime.RuntimeContext.param_rng`) instead of a module
+    global, so two concurrently active contexts each own an independent
+    parameter stream.
+    """
+    from repro.runtime import current  # lazy: keep nn importable standalone
+
+    return current().param_rng
 
 
 def seed_all(seed: int) -> None:
-    """Reseed the substrate's global parameter-initialization RNG."""
-    global _GLOBAL_RNG
-    _GLOBAL_RNG = np.random.default_rng(seed)
+    """Reseed the ambient context's parameter-initialization RNG."""
+    from repro.runtime import current  # lazy: keep nn importable standalone
+
+    current().reseed_param_rng(seed)
 
 
 class Linear(Module):

@@ -16,11 +16,11 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# The runtime package is import-light (stdlib only), so binding its resolver
+# at module scope costs nothing and avoids a memoized-global rebind.
+from repro.runtime import current as _current_runtime
 
-# Bound lazily on first use: importing repro.runtime at module scope would
-# make every tensor import pull in the configuration machinery.
-_runtime_resolver = None
+_GRAD_ENABLED = True
 
 
 def compute_dtype() -> np.dtype:
@@ -32,12 +32,7 @@ def compute_dtype() -> np.dtype:
     activation is per-thread, two concurrently active contexts with different
     dtypes each get their own allocations.
     """
-    global _runtime_resolver
-    if _runtime_resolver is None:
-        from repro.runtime import current
-
-        _runtime_resolver = current
-    return np.dtype(_runtime_resolver().config.dtype_name())
+    return np.dtype(_current_runtime().config.dtype_name())
 
 
 @contextlib.contextmanager
@@ -102,7 +97,8 @@ class Tensor:
     @staticmethod
     def randn(shape: Sequence[int], scale: float = 1.0, rng: np.random.Generator | None = None,
               requires_grad: bool = False) -> "Tensor":
-        rng = rng or np.random.default_rng()
+        if rng is None:
+            rng = _current_runtime().param_rng
         return Tensor(rng.normal(0.0, scale, size=tuple(shape)), requires_grad=requires_grad)
 
     @staticmethod

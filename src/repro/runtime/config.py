@@ -50,6 +50,7 @@ ENV_KNOBS: dict[str, str] = {
     "cache_max_entries": "REPRO_CACHE_MAX_ENTRIES",
     "results_dir": "REPRO_RESULTS_DIR",
     "seed": "REPRO_SEED",
+    "verify_plans": "REPRO_VERIFY_PLANS",
 }
 
 _VALID_DTYPES = ("float32", "float64")
@@ -151,6 +152,8 @@ class RuntimeConfig:
     results_dir: str = "results"
     #: seed of the context's root RNG.
     seed: int = 0
+    #: statically verify compiled execution plans before first execution.
+    verify_plans: bool = False
     #: field name -> provenance tag; fields absent here are ``default``.
     provenance: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
 
@@ -216,6 +219,7 @@ class RuntimeConfig:
         flag("smoke", False)
         flag("compiled_forward", True)
         flag("eval_cache", True)
+        flag("verify_plans", False)
         integer("eval_processes", 1, minimum=1)
         integer("shards", 1, minimum=1)
         integer("frontier_width", 8, minimum=1)
@@ -307,6 +311,7 @@ class RuntimeConfig:
             "cache_max_entries": self.cache_max_entries,
             "results_dir": self.results_dir,
             "seed": self.seed,
+            "verify_plans": self.verify_plans,
         }
 
     def provenance_map(self) -> dict[str, str]:

@@ -62,9 +62,10 @@ class RuntimeContext:
         self.caches = caches if caches is not None else CacheSet()
         self._store = store
         self._rng = None
+        self._param_rng = None
 
     def __getstate__(self) -> dict:
-        # The store and RNG are recreated lazily on the other side; config and
+        # The store and RNGs are recreated lazily on the other side; config and
         # caches are the identity of the context.
         return {"config": self.config, "caches": self.caches}
 
@@ -73,6 +74,7 @@ class RuntimeContext:
         self.caches = state["caches"]
         self._store = None
         self._rng = None
+        self._param_rng = None
 
     def __repr__(self) -> str:
         tag = "default" if self is _DEFAULT else "explicit"
@@ -101,6 +103,28 @@ class RuntimeContext:
 
             self._rng = np.random.default_rng(self.config.seed)
         return self._rng
+
+    @property
+    def param_rng(self):
+        """The parameter-initialization RNG (layers, dropout, ``Tensor.randn``).
+
+        Separate from :attr:`rng` so structural draws (search, datasets)
+        never perturb the parameter stream.  Evaluators pin it with
+        :meth:`reseed_param_rng` before each proxy training, which is what
+        makes a reward a pure function of the candidate rather than of how
+        many models were built earlier in the process.
+        """
+        if self._param_rng is None:
+            import numpy as np  # lazy: keep the runtime package import-light
+
+            self._param_rng = np.random.default_rng(self.config.seed)
+        return self._param_rng
+
+    def reseed_param_rng(self, seed: int) -> None:
+        """Reset the parameter-initialization stream to a known seed."""
+        import numpy as np  # lazy: keep the runtime package import-light
+
+        self._param_rng = np.random.default_rng(seed)
 
     # -- scoping -------------------------------------------------------------
 
@@ -244,6 +268,7 @@ def default_context() -> RuntimeContext:
         _DEFAULT.config = RuntimeConfig.from_env(warn_on_fallback=True)
         _DEFAULT._store = None  # results_dir may have changed
         _DEFAULT._rng = None  # seed may have changed
+        _DEFAULT._param_rng = None
         _DEFAULT_ENV_SNAPSHOT = snapshot
     return _DEFAULT
 

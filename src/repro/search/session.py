@@ -64,7 +64,8 @@ class SearchConfig:
 
     max_depth: int = 8
     mcts_iterations: int = 24
-    mcts_seed: int = 0
+    #: MCTS seed; ``None`` inherits the runtime context's ``RuntimeConfig.seed``.
+    mcts_seed: int | None = None
     #: hard MACs budget as a multiple of the original convolutions' MACs.
     macs_budget_ratio: float = 1.0
     #: admissible accuracy loss relative to the baseline (the paper uses 1%).
