@@ -39,6 +39,56 @@ ls "$RESULTS_DIR"/runs/*/record.json > /dev/null || {
 }
 echo "OK: result artifacts present"
 
+echo "== concurrency stress: two parallel runs race one shared store =="
+# Two `repro run`s into one results dir, concurrently.  Both must complete,
+# both must publish their cache delta into the shared store (the pre-store
+# whole-pickle snapshot was last-writer-wins), and both records must carry
+# the serial run's fingerprint — warmth from a concurrent writer can never
+# change a result.
+STRESS_DIR="$RESULTS_DIR/stress"
+REPRO_RESULTS_DIR="$STRESS_DIR" python -m repro.cli run figure5 --smoke \
+  > "$RESULTS_DIR/stress-a.log" 2>&1 &
+STRESS_A=$!
+REPRO_RESULTS_DIR="$STRESS_DIR" python -m repro.cli run figure5 --smoke \
+  > "$RESULTS_DIR/stress-b.log" 2>&1 &
+STRESS_B=$!
+wait "$STRESS_A" || { echo "FAIL: concurrent run A failed" >&2; cat "$RESULTS_DIR/stress-a.log" >&2; exit 1; }
+wait "$STRESS_B" || { echo "FAIL: concurrent run B failed" >&2; cat "$RESULTS_DIR/stress-b.log" >&2; exit 1; }
+# Each process reported a successful publish (saved or merged, never
+# locked/write-failed): its delta reached the store.
+for log in "$RESULTS_DIR/stress-a.log" "$RESULTS_DIR/stress-b.log"; do
+  grep -q "cache snapshot saved" "$log" || {
+    echo "FAIL: $log has no successful cache publish" >&2; cat "$log" >&2; exit 1
+  }
+done
+python - "$RESULTS_DIR" "$STRESS_DIR" <<'PY'
+import json, sys
+from pathlib import Path
+
+serial_dir, stress_dir = Path(sys.argv[1]), Path(sys.argv[2])
+
+def fingerprints(root):
+    records = [
+        json.loads(path.read_text())
+        for path in sorted(root.glob("runs/*/record.json"))
+    ]
+    return [r["fingerprint"] for r in records
+            if r["experiment"] == "figure5" and r["status"] == "completed"]
+
+(serial,) = fingerprints(serial_dir)  # the CLI smoke leg's run
+stress = fingerprints(stress_dir)
+assert len(stress) == 2, f"expected 2 concurrent records, found {len(stress)}"
+assert set(stress) == {serial}, f"fingerprint divergence: {stress} != {serial}"
+
+from repro.runtime import SharedCacheStore
+(store_path,) = (stress_dir / "cache").glob("evaluation-cache-*.pkl")
+entries, status = SharedCacheStore(store_path).load()
+assert status.status == "loaded", f"shared store not loadable: {status.summary()}"
+total = sum(len(per_cache) for per_cache in entries.values())
+assert total > 0, "no cache entries survived the concurrent runs"
+print(f"OK: concurrent fingerprints match serial; shared store holds {total} entries")
+PY
+
 echo "== timing sanity: smoke benches must not regress =="
 # figure5 is compiler-tuning-bound: guard its absolute smoke wall-clock.
 # (The threshold is generous — about 5x the current ~18 s — so only a real

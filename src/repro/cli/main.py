@@ -24,6 +24,7 @@ import csv
 import io
 import json
 import logging
+import os
 import sys
 import time
 from datetime import datetime, timezone
@@ -158,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument(
         "--clear", action="store_true", help="delete the persisted snapshot and clear in-memory caches"
     )
+    cache.add_argument(
+        "--json", action="store_true", help="machine-readable snapshot/lock state"
+    )
 
     lister = subparsers.add_parser("list", help="list experiments and stored runs")
     lister.add_argument("--results-dir", help="artifact store root")
@@ -267,11 +271,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not persist:
             return
         status = runtime.save_caches(str(store.cache_path))
-        if status.status == "saved":
+        if status.status in ("saved", "merged"):
+            # `merged` means other processes' entries were already in the
+            # shared store and our delta joined them; the summary carries the
+            # merged-entry counts and any lock wait.
             print(f"cache snapshot saved to {store.cache_path}: {status.summary()}")
         else:
-            # Caches disabled or the write failed — the status (and the log)
-            # carry the details; don't claim success.
+            # Caches disabled, the store lock timed out, or the write failed —
+            # the status (and the log) carry the details; don't claim success.
             print(f"cache snapshot not written ({status.summary()})")
 
     try:
@@ -370,13 +377,17 @@ def _append_bench_record(path: Path, entry: dict, name: str | None = None) -> No
             log.warning("starting a fresh bench record (unreadable %s: %s)", path, exc)
     history.append(entry)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
+    # Atomic replace: a reader (or a crash) never sees a half-written
+    # trajectory file.
+    tmp_path = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp_path.write_text(
         json.dumps(
             {"experiment": name or entry["experiment"], "entries": history}, indent=2
         )
         + "\n",
         encoding="utf-8",
     )
+    os.replace(tmp_path, path)
 
 
 def _bench_one(experiment: str, config, repeats: int, no_compare: bool, dtype: str) -> dict:
@@ -565,23 +576,48 @@ def cmd_cache(args: argparse.Namespace) -> int:
     runtime = _command_runtime(args)
     store = runtime.store
     path = store.cache_path
+    shared = runtime.shared_store
     if args.clear:
         runtime.caches.clear()
-        if path.exists():
-            path.unlink()
+        # The store's clear is race-free (no exists-then-unlink window) and
+        # also removes a leftover lock, so a crashed holder never wedges the
+        # next run.
+        if shared.clear():
             print(f"deleted {path}")
         print("in-memory caches cleared")
         return 0
 
+    if args.json:
+        status = runtime.load_caches(str(path))
+        payload = {
+            "path": str(path),
+            "load": status.to_dict(),
+            "sizes": runtime.caches.sizes(),
+            "store_entries": shared.entry_counts(),
+            "lock": shared.lock_info(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
     if path.exists():
         status = runtime.load_caches(str(path))
-        size_kib = path.stat().st_size / 1024
-        print(f"persisted snapshot: {path} ({size_kib:.1f} KiB)")
+        try:
+            size_kib = path.stat().st_size / 1024
+            print(f"persisted snapshot: {path} ({size_kib:.1f} KiB)")
+        except OSError:  # deleted under us by a concurrent --clear
+            print(f"persisted snapshot: {path}")
         print(f"load status: {status.summary()}")
         for name, count in sorted(runtime.caches.sizes().items()):
             print(f"  {name:10s} {count} entries ({status.entries.get(name, 0)} loaded just now)")
     else:
         print(f"persisted snapshot: {path} (absent — run an experiment first)")
+    lock_info = shared.lock_info()
+    if lock_info is not None:
+        print(
+            f"store lock: held by pid {lock_info.get('pid')} on {lock_info.get('host')}"
+        )
+    else:
+        print("store lock: free")
 
     stats = runtime.caches.stats()
     print("this process:", _format_cache_delta(

@@ -51,6 +51,14 @@ from repro.runtime import RuntimeConfig, RuntimeContext, current
 
 log = logging.getLogger(__name__)
 
+#: Sentinel for :func:`run_experiment`'s ``store`` argument: "write the record
+#: through the run's *own* context store".  It resolves to ``runtime.store``
+#: only after the run context is derived, so two concurrent runs under
+#: contexts with distinct ``results_dir`` roots each write through to their
+#: own store — a caller holding one shared ``ArtifactStore`` object cannot
+#: accidentally interleave both runs' records into one root.
+CONTEXT_STORE = "context-store"
+
 
 @dataclass
 class ExperimentConfig:
@@ -410,13 +418,16 @@ def _stats_delta(before: dict, after: dict) -> dict:
 def run_experiment(
     name: str,
     config: ExperimentConfig | None = None,
-    store: ArtifactStore | None = None,
+    store: "ArtifactStore | str | None" = None,
 ) -> RunOutcome:
     """Run one registered experiment and return its record plus live result.
 
     When ``store`` is given the record is saved there — including for
     interrupted and failed runs, whose partial record (status, error, cache
-    activity) is written *before* the exception propagates.  Cache snapshot
+    activity) is written *before* the exception propagates.  Passing the
+    :data:`CONTEXT_STORE` sentinel resolves to the run context's own store
+    (``runtime.store``) after deriving, so concurrent runs into distinct
+    ``results_dir`` roots write through to their own stores.  Cache snapshot
     persistence is the caller's concern (the CLI saves/loads around this
     call) so that pytest-driven runs stay free of disk side effects.
     """
@@ -455,6 +466,12 @@ def run_experiment(
     # caches — cache keys already encode every knob that affects a cached
     # value, so sharing is safe and keeps repeated runs cheap.
     runtime = current().derive(**config.runtime_overrides())
+    if isinstance(store, str):
+        if store != CONTEXT_STORE:
+            raise ValueError(
+                f"store must be an ArtifactStore, None, or CONTEXT_STORE; got {store!r}"
+            )
+        store = runtime.store
 
     record = ResultRecord(
         run_id=_new_run_id(name),

@@ -47,6 +47,13 @@ def default_results_dir() -> Path:
     return Path(current().config.results_dir)
 
 
+def _write_text_atomic(path: Path, text: str) -> None:
+    """All-or-nothing text write: unique temp file, then an atomic rename."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
 class ArtifactStore:
     """Persistent store of :class:`ResultRecord` artifacts and cache snapshots."""
 
@@ -77,15 +84,19 @@ class ArtifactStore:
     # -- writing ------------------------------------------------------------
 
     def save(self, record: ResultRecord) -> Path:
-        """Write ``record.json`` and ``table.txt`` for the run; returns the dir."""
+        """Write ``record.json`` and ``table.txt`` for the run; returns the dir.
+
+        Both files are written atomically (pid-suffixed temp file +
+        ``os.replace``), so a reader — or a second process writing into the
+        same store — never observes a half-written record and two writers
+        never interleave within one file.
+        """
         directory = self.run_dir(record.run_id)
         directory.mkdir(parents=True, exist_ok=True)
         path = self.record_path(record.run_id)
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(record.to_json() + "\n", encoding="utf-8")
-        os.replace(tmp, path)
+        _write_text_atomic(path, record.to_json() + "\n")
         if record.table:
-            (directory / "table.txt").write_text(record.table + "\n", encoding="utf-8")
+            _write_text_atomic(directory / "table.txt", record.table + "\n")
         return directory
 
     # -- reading ------------------------------------------------------------

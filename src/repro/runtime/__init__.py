@@ -35,28 +35,34 @@ from repro.runtime.config import (
     PROVENANCE_ENV,
     PROVENANCE_EXPLICIT,
     RuntimeConfig,
+    env_float,
     env_int,
     explicit_context_seen,
     note_explicit_context,
     reset_deprecation_warnings,
 )
 from repro.runtime.context import RuntimeContext, current, default_context
+from repro.runtime.store import CacheLockTimeout, FileLock, SharedCacheStore
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "CacheLockTimeout",
     "CacheSet",
     "CacheStats",
     "ENV_KNOBS",
+    "FileLock",
     "KeyedCache",
     "PROVENANCE_DEFAULT",
     "PROVENANCE_ENV",
     "PROVENANCE_EXPLICIT",
     "RuntimeConfig",
     "RuntimeContext",
+    "SharedCacheStore",
     "SnapshotStatus",
     "cache_snapshot_filename",
     "current",
     "default_context",
+    "env_float",
     "env_int",
     "explicit_context_seen",
     "note_explicit_context",

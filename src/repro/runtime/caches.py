@@ -20,7 +20,6 @@ core and the experiment harness can all depend on it without cycles.
 from __future__ import annotations
 
 import logging
-import os
 import pickle
 import threading
 from dataclasses import dataclass, field
@@ -189,10 +188,13 @@ class KeyedCache:
 class SnapshotStatus:
     """Structured outcome of one snapshot load or save (never an exception).
 
-    ``status`` is one of ``loaded``/``saved`` (success), ``missing`` (no file
-    on load), ``disabled`` (caches off), ``version-mismatch``, ``unreadable``
-    or ``write-failed``.  ``entries`` counts per-cache entries added (load)
-    or persisted (save).
+    ``status`` is one of ``loaded``/``saved``/``merged`` (success — ``merged``
+    is a save whose delta joined entries other processes already published to
+    the shared store), ``missing`` (no file on load), ``disabled`` (caches
+    off), ``locked`` (the store lock was not acquired within the timeout),
+    ``version-mismatch``, ``unreadable`` or ``write-failed``.  ``entries``
+    counts per-cache entries added (load) or newly published (save);
+    ``store_entries`` counts what the shared store holds in total afterwards.
     """
 
     action: str  # "load" | "save"
@@ -202,18 +204,51 @@ class SnapshotStatus:
     snapshot_version: int | None = None
     expected_version: int = CACHE_FORMAT_VERSION
     error: str = ""
+    #: per-cache totals in the shared store after the operation.
+    store_entries: dict[str, int] = field(default_factory=dict)
+    #: seconds spent waiting for the store lock (0.0 when uncontended).
+    lock_wait_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
-        return self.status in ("loaded", "saved", "missing", "disabled")
+        return self.status in ("loaded", "saved", "merged", "missing", "disabled")
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (``repro cache --json``); round-trips via ``**``."""
+        return {
+            "action": self.action,
+            "path": self.path,
+            "status": self.status,
+            "entries": dict(self.entries),
+            "snapshot_version": self.snapshot_version,
+            "expected_version": self.expected_version,
+            "error": self.error,
+            "store_entries": dict(self.store_entries),
+            "lock_wait_seconds": self.lock_wait_seconds,
+        }
+
+    def _lock_wait_suffix(self) -> str:
+        if self.lock_wait_seconds >= 0.1:
+            return f"; waited {self.lock_wait_seconds:.1f}s for the store lock"
+        return ""
 
     def summary(self) -> str:
         """One-line human-readable form (used by ``repro cache`` / ``repro run``)."""
         counts = ", ".join(f"{name}={count}" for name, count in sorted(self.entries.items()))
+        totals = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.store_entries.items())
+        )
         if self.status == "loaded":
-            return f"loaded ({counts or 'nothing new'})"
+            return f"loaded ({counts or 'nothing new'}){self._lock_wait_suffix()}"
         if self.status == "saved":
-            return f"saved ({counts or 'empty'})"
+            return f"saved ({counts or 'empty'}){self._lock_wait_suffix()}"
+        if self.status == "merged":
+            return (
+                f"merged ({counts or 'nothing new'}; store has {totals or 'nothing'})"
+                f"{self._lock_wait_suffix()}"
+            )
+        if self.status == "locked":
+            return f"locked: {self.error}"
         if self.status == "version-mismatch":
             return (
                 f"ignored: snapshot version {self.snapshot_version!r} != "
@@ -319,25 +354,37 @@ class CacheSet:
     # -- disk persistence ----------------------------------------------------
 
     def save_snapshot(
-        self, path: str, max_entries: int | None = None, enabled: bool = True
+        self,
+        path: str,
+        max_entries: int | None = None,
+        enabled: bool = True,
+        lock_timeout: float | None = None,
     ) -> SnapshotStatus:
-        """Persist the reward/compile/baseline caches to ``path``.
+        """Publish the reward/compile/baseline caches into the store at ``path``.
 
-        The snapshot is written atomically (temp file + rename) so an
-        interrupted run never leaves a truncated file behind.  Persistence is
+        Persistence goes through :class:`repro.runtime.store.SharedCacheStore`:
+        under an advisory file lock, only this process's *delta* (entries the
+        store does not hold yet) is appended, so N concurrent processes merge
+        into one store instead of overwriting each other (status ``merged``
+        when the store already held entries, ``saved`` when it was fresh, and
+        ``locked`` when the lock was not acquired within ``lock_timeout``
+        seconds).  Writes are atomic-or-appended with fsync, so an interrupted
+        run never corrupts entries already persisted.  Persistence is
         best-effort and never raises: entries whose key or value cannot be
-        pickled are skipped with a warning, and an unwritable destination
-        returns a ``write-failed`` status instead of failing the experiment.
-        ``max_entries`` caps each cache to its most recently used entries
-        (``None`` or ``<= 0`` disables the cap).  With the caches disabled
-        nothing is written — they are empty then, and overwriting would
-        destroy a previous run's warm snapshot.
+        pickled are skipped, and an unwritable destination returns a
+        ``write-failed`` status instead of failing the experiment.
+        ``max_entries`` caps each cache in the store to its most recently
+        used entries (``None`` or ``<= 0`` disables the cap).  With the
+        caches disabled nothing is written — they are empty then, and
+        publishing would add nothing while churning the store.
         """
         path = str(path)
         if not enabled:
             status = SnapshotStatus("save", path, "disabled")
             self.last_save = status
             return status
+        from repro.runtime.store import SharedCacheStore
+
         cap = max_entries if max_entries is not None and max_entries > 0 else None
         caches: dict[str, dict] = {
             cache.name: cache.export_entries(max_entries=cap) for cache in self.persisted()
@@ -349,81 +396,43 @@ class CacheSet:
                     "snapshot cap: persisting %d/%d %s-cache entries (LRU eviction of %d)",
                     len(caches[cache.name]), len(cache), cache.name, dropped,
                 )
-        payload = {"version": CACHE_FORMAT_VERSION, "caches": caches}
-        try:
-            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
-            # A poison entry somewhere: fall back to filtering entry by entry.
-            for cache_name, entries in caches.items():
-                caches[cache_name] = _picklable_entries(cache_name, entries, warn=True)
-            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        try:
-            directory = os.path.dirname(os.path.abspath(path))
-            os.makedirs(directory, exist_ok=True)
-            tmp_path = f"{path}.tmp.{os.getpid()}"
-            with open(tmp_path, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp_path, path)
-        except OSError as exc:
-            log.warning("could not persist cache snapshot to %s: %s", path, exc)
-            status = SnapshotStatus("save", path, "write-failed", error=str(exc))
-            self.last_save = status
-            return status
-        status = SnapshotStatus(
-            "save", path, "saved",
-            entries={name: len(entries) for name, entries in caches.items()},
-        )
+        store = SharedCacheStore(path)
+        status = store.publish(caches, max_entries=cap, lock_timeout=lock_timeout)
         self.last_save = status
         return status
 
-    def load_snapshot(self, path: str, enabled: bool = True) -> SnapshotStatus:
-        """Merge a persisted snapshot into this set's caches.
+    def load_snapshot(
+        self, path: str, enabled: bool = True, lock_timeout: float | None = None
+    ) -> SnapshotStatus:
+        """Merge the persisted store at ``path`` into this set's caches.
 
         Already-present keys are kept (freshly computed values always win).
-        A missing, corrupt or version-mismatched snapshot loads nothing and
+        A missing, corrupt or version-mismatched store loads nothing and
         is reported — never raised — through the returned status; corrupt
-        and mismatched snapshots additionally log a warning naming the path
-        and the versions involved.
+        and mismatched stores additionally log a warning naming the path
+        and the versions involved.  Legacy whole-pickle snapshots (the
+        pre-store format) still load, with their historical version checks;
+        a store locked past ``lock_timeout`` seconds reports ``locked``.
         """
         path = str(path)
         if not enabled:
             status = SnapshotStatus("load", path, "disabled")
             self.last_load = status
             return status
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-        except FileNotFoundError:
-            status = SnapshotStatus("load", path, "missing")
-            self.last_load = status
-            return status
-        except Exception as exc:
-            log.warning(
-                "ignoring unreadable cache snapshot %s (expected format v%d): %s",
-                path, CACHE_FORMAT_VERSION, exc,
-            )
-            status = SnapshotStatus("load", path, "unreadable", error=str(exc))
-            self.last_load = status
-            return status
-        found_version = payload.get("version") if isinstance(payload, dict) else None
-        if not isinstance(payload, dict) or found_version != CACHE_FORMAT_VERSION:
-            log.warning(
-                "ignoring cache snapshot %s: format version %r != expected %d "
-                "(delete the file or rerun with the matching version to rebuild it)",
-                path, found_version, CACHE_FORMAT_VERSION,
-            )
-            status = SnapshotStatus(
-                "load", path, "version-mismatch", snapshot_version=found_version
-            )
-            self.last_load = status
-            return status
-        added: dict[str, int] = {}
-        by_name = {cache.name: cache for cache in self.persisted()}
-        for name, entries in payload.get("caches", {}).items():
-            cache = by_name.get(name)
-            if cache is not None and isinstance(entries, dict):
-                added[name] = cache.merge_entries(entries)
-        status = SnapshotStatus("load", path, "loaded", entries=added)
+        from repro.runtime.store import SharedCacheStore
+
+        store = SharedCacheStore(path)
+        entries, status = store.load(lock_timeout=lock_timeout)
+        if entries is not None:
+            by_name = {cache.name: cache for cache in self.persisted()}
+            # Every persisted cache is reported (zero included), matching the
+            # historical whole-pickle load counts.
+            added: dict[str, int] = {name: 0 for name in by_name}
+            for name, cache_entries in entries.items():
+                cache = by_name.get(name)
+                if cache is not None and isinstance(cache_entries, dict):
+                    added[name] = cache.merge_entries(cache_entries)
+            status.entries = added
         self.last_load = status
         return status
 

@@ -48,6 +48,8 @@ ENV_KNOBS: dict[str, str] = {
     "shards": "REPRO_SEARCH_SHARDS",
     "frontier_width": "REPRO_FRONTIER_WIDTH",
     "cache_max_entries": "REPRO_CACHE_MAX_ENTRIES",
+    "cache_lock_timeout": "REPRO_CACHE_LOCK_TIMEOUT",
+    "cache_live_sync": "REPRO_CACHE_LIVE_SYNC",
     "results_dir": "REPRO_RESULTS_DIR",
     "seed": "REPRO_SEED",
     "verify_plans": "REPRO_VERIFY_PLANS",
@@ -69,6 +71,19 @@ def env_int(name: str, default: int, environ: Mapping[str, str] | None = None) -
         return int(raw)
     except ValueError:
         log.warning("ignoring malformed %s=%r (expected an integer)", name, raw)
+        return default
+
+
+def env_float(name: str, default: float, environ: Mapping[str, str] | None = None) -> float:
+    """A float environment knob; malformed values fall back to the default."""
+    environ = environ if environ is not None else os.environ
+    raw = environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        log.warning("ignoring malformed %s=%r (expected a number)", name, raw)
         return default
 
 
@@ -148,6 +163,12 @@ class RuntimeConfig:
     frontier_width: int = 8
     #: per-cache size cap of the persisted snapshot (``<= 0`` disables).
     cache_max_entries: int = 4096
+    #: seconds to wait for the shared cache-store lock before giving up.
+    cache_lock_timeout: float = 10.0
+    #: merge shard-worker cache deltas through the shared store at wave
+    #: boundaries, so concurrent processes share warmth live (not just at
+    #: load/exit).
+    cache_live_sync: bool = False
     #: root of the on-disk artifact store.
     results_dir: str = "results"
     #: seed of the context's root RNG.
@@ -216,15 +237,29 @@ class RuntimeConfig:
                 except ValueError:
                     pass  # malformed: fell back to the default
 
+        def floating(field_name: str, default: float, minimum: float | None = None) -> None:
+            variable = ENV_KNOBS[field_name]
+            raw = environ.get(variable)
+            value = env_float(variable, default, environ)
+            values[field_name] = max(value, minimum) if minimum is not None else value
+            if raw not in (None, ""):
+                try:
+                    float(raw)
+                    tags[field_name] = PROVENANCE_ENV
+                except ValueError:
+                    pass  # malformed: fell back to the default
+
         flag("smoke", False)
         flag("compiled_forward", True)
         flag("eval_cache", True)
         flag("verify_plans", False)
+        flag("cache_live_sync", False)
         integer("eval_processes", 1, minimum=1)
         integer("shards", 1, minimum=1)
         integer("frontier_width", 8, minimum=1)
         integer("cache_max_entries", 4096)
         integer("seed", 0)
+        floating("cache_lock_timeout", 10.0, minimum=0.0)
 
         raw_steps = environ.get(ENV_KNOBS["train_steps"])
         values["train_steps"] = None
@@ -309,6 +344,8 @@ class RuntimeConfig:
             "shards": self.shards,
             "frontier_width": self.frontier_width,
             "cache_max_entries": self.cache_max_entries,
+            "cache_lock_timeout": self.cache_lock_timeout,
+            "cache_live_sync": self.cache_live_sync,
             "results_dir": self.results_dir,
             "seed": self.seed,
             "verify_plans": self.verify_plans,

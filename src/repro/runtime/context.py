@@ -61,6 +61,7 @@ class RuntimeContext:
         self.config = config if config is not None else RuntimeConfig()
         self.caches = caches if caches is not None else CacheSet()
         self._store = store
+        self._shared_store = None
         self._rng = None
         self._param_rng = None
 
@@ -73,6 +74,7 @@ class RuntimeContext:
         self.config = state["config"]
         self.caches = state["caches"]
         self._store = None
+        self._shared_store = None
         self._rng = None
         self._param_rng = None
 
@@ -94,6 +96,22 @@ class RuntimeContext:
 
             self._store = ArtifactStore(self.config.results_dir)
         return self._store
+
+    @property
+    def shared_store(self):
+        """The process-safe shared cache store behind :meth:`snapshot_path`.
+
+        Created lazily (and re-created if the snapshot path moves with
+        ``results_dir``); holds no open resources, just the path, the lock
+        object and the incremental-refresh offset used by live sync.
+        """
+        if self._shared_store is None or self._shared_store.path != self.snapshot_path():
+            from repro.runtime.store import SharedCacheStore  # lazy: avoids a cycle
+
+            self._shared_store = SharedCacheStore(
+                self.snapshot_path(), lock_timeout=self.config.cache_lock_timeout
+            )
+        return self._shared_store
 
     @property
     def rng(self):
@@ -210,6 +228,7 @@ class RuntimeContext:
             path if path is not None else self.snapshot_path(),
             max_entries=cap,
             enabled=self.config.eval_cache,
+            lock_timeout=self.config.cache_lock_timeout,
         )
 
     def load_caches(self, path: str | None = None) -> SnapshotStatus:
@@ -217,6 +236,7 @@ class RuntimeContext:
         return self.caches.load_snapshot(
             path if path is not None else self.snapshot_path(),
             enabled=self.config.eval_cache,
+            lock_timeout=self.config.cache_lock_timeout,
         )
 
 
@@ -267,6 +287,7 @@ def default_context() -> RuntimeContext:
         # this refresh is the one place the fallback warning can fire.
         _DEFAULT.config = RuntimeConfig.from_env(warn_on_fallback=True)
         _DEFAULT._store = None  # results_dir may have changed
+        _DEFAULT._shared_store = None
         _DEFAULT._rng = None  # seed may have changed
         _DEFAULT._param_rng = None
         _DEFAULT_ENV_SNAPSHOT = snapshot

@@ -186,6 +186,53 @@ def merge_shard_caches(
     return added
 
 
+def _live_refresh(runtime: RuntimeContext) -> None:
+    """Absorb entries other processes published to the shared store.
+
+    Best-effort and lock-free (:meth:`SharedCacheStore.read_new_entries`):
+    a torn tail or a store mid-compaction just means fewer entries this wave.
+    Extra warmth can never change a result — every cached value is a pure
+    function of its key — so live refresh preserves serial equivalence.
+    """
+    try:
+        added = runtime.caches.merge_delta(runtime.shared_store.read_new_entries())
+    except Exception as exc:
+        log.warning("live cache refresh failed (%s); continuing with local warmth", exc)
+        return
+    if any(added.values()):
+        log.info(
+            "live cache refresh: %s",
+            ", ".join(f"{name}+{count}" for name, count in sorted(added.items())),
+        )
+
+
+def _live_publish(runtime: RuntimeContext, deltas: Sequence[dict]) -> None:
+    """Publish this wave's fresh cache entries to the shared store.
+
+    Plan entries stay in memory (they are cheap to recompile and are not part
+    of the persisted store format); a held lock or write failure is logged
+    and skipped — live sync is an optimisation, never a correctness gate.
+    """
+    combined: dict[str, dict] = {}
+    for delta in deltas:
+        for name, entries in delta.items():
+            if name == "plan":
+                continue
+            combined.setdefault(name, {}).update(entries)
+    if not any(combined.values()):
+        return
+    cap = runtime.config.cache_max_entries
+    try:
+        status = runtime.shared_store.publish(
+            combined, max_entries=cap if cap > 0 else None
+        )
+    except Exception as exc:
+        log.warning("live cache publish failed (%s); entries stay process-local", exc)
+        return
+    if not status.ok:
+        log.warning("live cache publish skipped: %s", status.summary())
+
+
 def sharded_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -204,6 +251,13 @@ def sharded_map(
     ``max_workers`` bounds the live worker processes (default: the machine's
     core count).  It changes scheduling only — the shard partition, and
     therefore every result, is a pure function of ``shards``.
+
+    With ``RuntimeConfig.cache_live_sync`` on, every map additionally syncs
+    through the context's shared cache store at its wave boundaries: new
+    store entries are absorbed before the fan-out and this wave's fresh
+    entries published after the merge, so N concurrent processes on one box
+    share warmth live instead of only at load/exit.  Both directions are
+    best-effort and value-preserving, so results stay bit-identical.
     """
     work = list(items)
     context_given = runtime is not None
@@ -212,8 +266,19 @@ def sharded_map(
     count = max(count, 1)
     workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
     workers = min(count, max(workers, 1), len(work))
+    live = runtime.config.cache_live_sync and runtime.config.eval_cache
+    if live and work:
+        _live_refresh(runtime)
 
     def serial() -> list[R]:
+        if not live:
+            return _serial_plain()
+        before = runtime.caches.key_snapshots()
+        results = _serial_plain()
+        _live_publish(runtime, [runtime.caches.export_delta(before)])
+        return results
+
+    def _serial_plain() -> list[R]:
         if context_given:
             with _maybe_activate(runtime):
                 return [fn(item) for item in work]
@@ -253,6 +318,8 @@ def sharded_map(
             "merged shard caches: %s",
             ", ".join(f"{name}+{added}" for name, added in sorted(merged.items())),
         )
+    if live:
+        _live_publish(runtime, [outcome.cache_entries for outcome in outcomes])
     results: list = [None] * len(work)
     for partition, outcome in zip(partitions, outcomes):
         for index, result in zip(partition, outcome.results):

@@ -14,6 +14,7 @@ from repro.cli.main import build_parser, config_from_args, main
 from repro.experiments import runner as runner_module
 from repro.experiments.runner import ExperimentConfig, ExperimentSpec, run_experiment
 from repro.results import ArtifactStore
+from repro.runtime import SharedCacheStore, SnapshotStatus
 from repro.search.cache import cached_reward, clear_caches
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -101,6 +102,26 @@ def test_inapplicable_kwargs_are_warned_and_excluded_from_the_record(caplog):
     assert outcome.record.fingerprint() == baseline.record.fingerprint()
 
 
+def test_runner_context_store_sentinel_resolves_to_the_run_context(tmp_path):
+    """`store=CONTEXT_STORE` writes through the *derived* context's store.
+
+    Concurrent runs into distinct results_dir roots each resolve their own
+    store after deriving — a caller never has to thread a shared
+    ArtifactStore object that would point all of them at one root.
+    """
+    from repro.experiments.runner import CONTEXT_STORE
+    from repro.runtime import current
+
+    ctx = current().derive(results_dir=str(tmp_path / "mine"))
+    with ctx.activate(adopt=False):
+        outcome = run_experiment("ablation-materialization", store=CONTEXT_STORE)
+    (record,) = ArtifactStore(tmp_path / "mine").list_runs()
+    assert record.run_id == outcome.record.run_id
+
+    with pytest.raises(ValueError):
+        run_experiment("ablation-materialization", store="bogus")
+
+
 # ---------------------------------------------------------------------------
 # End-to-end through main() with a cheap experiment
 # ---------------------------------------------------------------------------
@@ -171,6 +192,46 @@ def test_cli_cache_surfaces_version_mismatch(tmp_path, capsys):
     assert main(["cache", "--results-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "load status: ignored: snapshot version 999" in out
+
+
+def test_cli_cache_reports_absent_snapshot_and_free_lock(tmp_path, capsys):
+    assert main(["cache", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "absent" in out
+    assert "store lock: free" in out
+
+
+def test_cli_cache_surfaces_unreadable_snapshot(tmp_path, capsys):
+    store = ArtifactStore(tmp_path)
+    store.cache_path.parent.mkdir(parents=True, exist_ok=True)
+    store.cache_path.write_bytes(b"this is neither a frame nor a pickle")
+    assert main(["cache", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "load status: ignored: unreadable snapshot" in out
+
+
+def test_cli_cache_surfaces_a_held_store_lock(tmp_path, capsys, monkeypatch, lock_holder):
+    """A concurrently held lock renders as `locked`, naming the holder."""
+    monkeypatch.setenv("REPRO_CACHE_LOCK_TIMEOUT", "0.2")
+    store = ArtifactStore(tmp_path)
+    SharedCacheStore(store.cache_path).publish({"reward": {"warm": 1.0}})
+    holder = lock_holder(str(store.cache_path) + ".lock")
+    assert main(["cache", "--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "load status: locked:" in out
+    assert f"store lock: held by pid {holder.pid}" in out
+
+
+def test_cli_cache_json_round_trips_the_snapshot_status(tmp_path, capsys):
+    assert main(["run", "ablation-materialization", "--results-dir", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert main(["cache", "--results-dir", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    status = SnapshotStatus(**payload["load"])
+    assert status.status == "loaded" and status.ok
+    assert payload["path"] == str(ArtifactStore(tmp_path).cache_path)
+    assert payload["lock"] is None  # nobody is writing
+    assert set(payload["sizes"]) >= {"reward", "compile", "baseline", "plan"}
 
 
 def test_cli_config_renders_table_and_json(capsys, monkeypatch):

@@ -10,6 +10,8 @@ produce bit-identical candidate sets, rewards and record fingerprints.
 from __future__ import annotations
 
 import functools
+import logging
+from pathlib import Path
 
 import pytest
 
@@ -17,6 +19,7 @@ from repro.core.enumeration import default_options_for
 from repro.core.library import K, M, OUT_FEATURES, matmul_spec
 from repro.core.mcts import MCTS, MCTSConfig
 from repro.experiments.runner import ExperimentConfig, applied_env, run_experiment
+from repro.runtime import RuntimeConfig, RuntimeContext, SharedCacheStore, current
 from repro.search.cache import (
     cache_sizes,
     clear_caches,
@@ -281,3 +284,86 @@ class TestExperimentParity:
         # The workers' training/tuning results were merged back.
         sizes = cache_sizes()
         assert sizes["baseline"] > 0 and sizes["compile"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Live store sync at wave boundaries (REPRO_CACHE_LIVE_SYNC)
+# ---------------------------------------------------------------------------
+
+
+def _live_probe(item):
+    """Picklable worker: a cached reward that records which process computed it."""
+    return current().cached_reward("live", f"sig{item}", lambda: float(item))
+
+
+def _live_context(tmp_path, **overrides) -> RuntimeContext:
+    config = RuntimeConfig(
+        results_dir=str(tmp_path / "results"), cache_live_sync=True, **overrides
+    )
+    return RuntimeContext(config)
+
+
+class TestLiveStoreSync:
+    def test_map_absorbs_foreign_entries_and_publishes_its_own(self, tmp_path):
+        ctx = _live_context(tmp_path)
+        # Another process already published an entry this one never computed.
+        SharedCacheStore(ctx.snapshot_path()).publish(
+            {"reward": {("live", "foreign"): 7.25}}
+        )
+        results = sharded_map(_live_probe, [1, 2, 3, 4], shards=2, max_workers=2, runtime=ctx)
+        assert results == [1.0, 2.0, 3.0, 4.0]
+        # Absorbed before the fan-out: a lookup is a hit, not a recompute.
+        assert ctx.cached_reward("live", "foreign", lambda: 0.0) == 7.25
+        # Published after the merge: a fresh process sees this wave's rewards.
+        entries, status = SharedCacheStore(ctx.snapshot_path()).load()
+        assert status.status == "loaded"
+        assert entries["reward"][("live", "foreign")] == 7.25
+        for item in (1, 2, 3, 4):
+            assert entries["reward"][("live", f"sig{item}")] == float(item)
+
+    def test_serial_fallback_path_syncs_too(self, tmp_path):
+        """On a one-core box sharded_map degrades to serial; sync must survive."""
+        ctx = _live_context(tmp_path)
+        results = sharded_map(_live_probe, [5, 6], shards=4, max_workers=1, runtime=ctx)
+        assert results == [5.0, 6.0]
+        entries, status = SharedCacheStore(ctx.snapshot_path()).load()
+        assert status.status == "loaded"
+        assert entries["reward"] == {("live", "sig5"): 5.0, ("live", "sig6"): 6.0}
+
+    def test_held_lock_skips_the_publish_without_failing_the_map(
+        self, tmp_path, lock_holder, caplog
+    ):
+        ctx = _live_context(tmp_path, cache_lock_timeout=0.2)
+        SharedCacheStore(ctx.snapshot_path()).publish(
+            {"reward": {("live", "foreign"): 7.25}}
+        )
+        holder = lock_holder(ctx.snapshot_path() + ".lock")
+        with caplog.at_level(logging.WARNING, logger="repro.search.parallel"):
+            results = sharded_map(
+                _live_probe, [1, 2, 3, 4], shards=2, max_workers=2, runtime=ctx
+            )
+        assert results == [1.0, 2.0, 3.0, 4.0]  # live sync never gates results
+        # The refresh is lock-free and still absorbed the foreign entry...
+        assert ctx.cached_reward("live", "foreign", lambda: 0.0) == 7.25
+        # ...but the publish was skipped, with a warning, not an error.
+        assert any("live cache publish" in message for message in caplog.messages)
+        holder.release()
+        entries, _ = SharedCacheStore(ctx.snapshot_path()).load()
+        assert ("live", "sig1") not in entries["reward"]
+
+    def test_publish_recovers_from_a_crashed_writer(self, tmp_path, crashed_writer):
+        """A SIGKILLed writer's dead-pid lock and torn tail don't stop live sync."""
+        ctx = _live_context(tmp_path, cache_lock_timeout=5.0)
+        Path(ctx.snapshot_path()).parent.mkdir(parents=True, exist_ok=True)
+        crashed_writer(ctx.snapshot_path())
+        results = sharded_map(_live_probe, [1, 2], shards=2, max_workers=2, runtime=ctx)
+        assert results == [1.0, 2.0]
+        entries, status = SharedCacheStore(ctx.snapshot_path()).load()
+        assert status.status == "loaded"
+        assert status.error == ""  # the publish repaired the torn tail
+        assert entries["reward"][("live", "sig1")] == 1.0
+
+    def test_live_sync_is_off_by_default(self, tmp_path):
+        ctx = RuntimeContext(RuntimeConfig(results_dir=str(tmp_path / "results")))
+        assert sharded_map(_live_probe, [1, 2], shards=2, max_workers=2, runtime=ctx) == [1.0, 2.0]
+        assert not Path(ctx.snapshot_path()).exists()
