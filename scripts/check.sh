@@ -21,6 +21,7 @@ echo "== static analysis: repro lint (invariant rules + reviewed baseline) =="
 #   mutable-global    no module-level mutable state outside runtime/
 #   nondeterminism    no ambient RNG / wall-clock / set-iteration entropy
 #   runtime-threading runtime= is forwarded to runtime-accepting callees
+#   exception-hygiene no bare except: / silently swallowed broad handlers
 # Any unbaselined finding — or stale baseline entry — fails the job.
 python -m repro.cli lint
 echo "OK: static invariants hold (zero unbaselined findings)"
@@ -88,6 +89,16 @@ total = sum(len(per_cache) for per_cache in entries.values())
 assert total > 0, "no cache entries survived the concurrent runs"
 print(f"OK: concurrent fingerprints match serial; shared store holds {total} entries")
 PY
+
+echo "== chaos: a killed shard worker must not change the record =="
+# The supervised executor's contract, end to end through the CLI: kill shard
+# 1's worker on its first attempt at every sharded fan-out, let the retry
+# ladder recover, and require the run's fingerprint to equal the clean serial
+# run's.  --expect-failures guards the leg against silently running
+# fault-free (a typo'd plan would otherwise pass vacuously).
+python -m repro.cli chaos figure5 --smoke --shards 2 \
+  --plan "kill:shard-entry:shard=1,attempt=1" --expect-failures
+echo "OK: fingerprint parity held under a killed shard worker"
 
 echo "== timing sanity: smoke benches must not regress =="
 # figure5 is compiler-tuning-bound: guard its absolute smoke wall-clock.

@@ -1,6 +1,6 @@
 """The lint rule catalog.
 
-Four rules guard the invariants PR 4 and PR 5 established dynamically:
+Five rules guard the invariants PR 4 and PR 5 established dynamically:
 
 * ``env-confinement`` — ``REPRO_*`` environment reads happen only in
   ``src/repro/runtime/`` (the :func:`RuntimeConfig.from_env` process edge).
@@ -14,6 +14,10 @@ Four rules guard the invariants PR 4 and PR 5 established dynamically:
   it to every callee that also accepts ``runtime=``; a dropped context
   silently re-resolves the ambient one, which is exactly the bug class the
   explicit-context API was built to kill.
+* ``exception-hygiene`` — no bare ``except:`` and no silently swallowed
+  ``except Exception``/``BaseException``; a handler that catches everything
+  and does nothing hides exactly the worker crashes and store corruption
+  the fault-tolerance layer exists to surface.
 
 Rules are pure AST analyses: no imports of the code under analysis, no
 execution.  Every finding's ``key`` is content-based (symbol or expression,
@@ -442,6 +446,84 @@ class RuntimeThreadingRule(Rule):
             yield from cls._walk_descend(child)
 
 
+class ExceptionHygieneRule(Rule):
+    """Bare ``except:`` clauses and silently swallowed broad handlers.
+
+    Two shapes are flagged:
+
+    * ``except:`` with no exception type — it catches ``SystemExit`` /
+      ``KeyboardInterrupt`` too, so a Ctrl-C mid-run can be eaten by an
+      envelope that only meant to tolerate a missing file;
+    * ``except Exception`` / ``except BaseException`` (alone or in a tuple)
+      whose body does nothing (only ``pass`` / ``...``) — the supervised
+      executor turns worker death into diagnostics precisely because silent
+      swallowing turns real faults into wrong-but-plausible results.
+
+    Broad handlers that *do* something (log, fall back, re-raise, return a
+    default) are fine: breadth is a judgment call, silence is not.  Keys are
+    the enclosing scope plus the shape, so baselines survive line churn.
+    """
+
+    rule_id = "exception-hygiene"
+    description = "bare except: or silently swallowed broad exception handler"
+
+    _BROAD = ("Exception", "BaseException")
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        yield from self._walk(module, module.tree, scope="<module>")
+
+    def _walk(self, module: ModuleSource, node: ast.AST, scope: str) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_scope = child.name
+            elif isinstance(child, ast.ExceptHandler):
+                yield from self._check_handler(module, child, scope)
+            yield from self._walk(module, child, child_scope)
+
+    def _check_handler(
+        self, module: ModuleSource, handler: ast.ExceptHandler, scope: str
+    ) -> Iterator[Finding]:
+        if handler.type is None:
+            yield self.finding(
+                module,
+                handler,
+                f"bare 'except:' in {scope}() catches SystemExit and "
+                "KeyboardInterrupt — name the exceptions this envelope tolerates",
+                key=f"bare:{scope}",
+            )
+            return
+        broad = self._broad_name(handler.type)
+        if broad is not None and self._is_silent(handler.body):
+            yield self.finding(
+                module,
+                handler,
+                f"'except {broad}: pass' in {scope}() swallows every failure "
+                "silently — log it, narrow it, or re-raise",
+                key=f"silent:{scope}",
+            )
+
+    @classmethod
+    def _broad_name(cls, type_expr: ast.AST) -> str | None:
+        if isinstance(type_expr, ast.Name) and type_expr.id in cls._BROAD:
+            return type_expr.id
+        if isinstance(type_expr, ast.Tuple):
+            for element in type_expr.elts:
+                if isinstance(element, ast.Name) and element.id in cls._BROAD:
+                    return element.id
+        return None
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # a docstring or `...` placeholder does not handle
+            return False
+        return True
+
+
 def _has_runtime_param(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
     args = func.args
     names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
@@ -474,6 +556,7 @@ def _forwards_runtime(call: ast.Call) -> bool:
 
 ALL_RULES = (
     EnvConfinementRule,
+    ExceptionHygieneRule,
     MutableGlobalRule,
     NondeterminismRule,
     RuntimeThreadingRule,

@@ -40,11 +40,17 @@ from repro.experiments.runner import (
 from repro.results import ArtifactStore, ResultRecord
 from repro.runtime import (
     ENV_KNOBS,
+    CacheLockTimeout,
+    FaultPlan,
+    FaultPlanError,
     RuntimeConfig,
     RuntimeContext,
     current,
     default_context,
 )
+
+#: exit code of a run refused because another process holds the store lock.
+EXIT_STORE_LOCKED = 4
 
 log = logging.getLogger(__name__)
 
@@ -170,6 +176,53 @@ def build_parser() -> argparse.ArgumentParser:
         "config", help="print the resolved runtime configuration and its provenance"
     )
     show.add_argument("--json", action="store_true", help="machine-readable output")
+    show.add_argument(
+        "--diff",
+        metavar="RUN_ID",
+        help="compare the live resolved config against a stored record's "
+        "captured environment (exit 1 when they differ)",
+    )
+    show.add_argument("--results-dir", help="artifact store root the record lives in")
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run an experiment under a fault plan and assert fingerprint "
+        "parity with the clean serial run",
+    )
+    chaos.add_argument("experiment", choices=experiment_names(), help="which figure/table to run")
+    chaos.add_argument(
+        "--plan",
+        required=True,
+        help="fault plan spec (REPRO_FAULT_PLAN grammar, e.g. "
+        "'kill:shard-entry:shard=1,attempt=1')",
+    )
+    chaos_fidelity = chaos.add_mutually_exclusive_group()
+    chaos_fidelity.add_argument(
+        "--smoke", action="store_true", help="shrunken workloads (REPRO_SMOKE=1)"
+    )
+    chaos_fidelity.add_argument(
+        "--full", action="store_true", help="full-fidelity workloads (REPRO_SMOKE=0)"
+    )
+    chaos.add_argument("--train-steps", type=int, help="proxy-training step budget")
+    chaos.add_argument("--seed", type=int, help="random seed for experiments that take one")
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count of the chaos leg (default 2; the clean leg is serial)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, help="per-shard wall-clock timeout seconds (REPRO_SHARD_TIMEOUT)"
+    )
+    chaos.add_argument(
+        "--retries", type=int, help="per-shard retries before serial fallback (REPRO_SHARD_RETRIES)"
+    )
+    chaos.add_argument(
+        "--expect-failures",
+        action="store_true",
+        help="fail unless the plan actually fired (guards against typo'd plans "
+        "that silently run fault-free)",
+    )
 
     lint = subparsers.add_parser(
         "lint", help="statically check src/repro against the project invariants"
@@ -260,6 +313,11 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     if persist:
         status = runtime.load_caches(str(store.cache_path))
+        if status.status == "locked":
+            # Refusing up front beats running: the save at the end would hit
+            # the same held lock and this run's work would never be shared.
+            _print_lock_advice(status.error, store.cache_path)
+            return EXIT_STORE_LOCKED
         if status.status == "loaded" and any(status.entries.values()):
             print(f"cache snapshot {status.summary()}")
         elif not status.ok:
@@ -294,6 +352,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 130
+    except CacheLockTimeout as exc:
+        # A held store lock inside the run (partial record already saved by
+        # the runner): actionable advice, never a traceback.
+        _print_lock_advice(str(exc), store.cache_path)
+        return EXIT_STORE_LOCKED
     except Exception as exc:
         _save_snapshot()
         print(f"experiment failed: {exc}", file=sys.stderr)
@@ -308,9 +371,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"run {record.run_id}: {record.status} in {record.duration_seconds:.1f}s")
     print(f"fingerprint {record.fingerprint()}")
     print("cache activity:", _format_cache_delta(record.cache_stats))
+    _print_shard_failures(record)
     print(f"record stored in {store.run_dir(record.run_id)}")
     _save_snapshot()
     return 0
+
+
+def _print_lock_advice(detail: str | None, cache_path) -> None:
+    """Actionable guidance when the shared cache store lock is held."""
+    print(f"run refused: the shared cache store is locked ({detail})", file=sys.stderr)
+    print(
+        "another process is using the store — wait for it and retry, raise "
+        "REPRO_CACHE_LOCK_TIMEOUT, run with --no-cache-persist to skip the "
+        f"store, or `repro cache --clear` if the holder is dead and the lock "
+        f"is stale ({cache_path}.lock)",
+        file=sys.stderr,
+    )
+
+
+def _print_shard_failures(record: ResultRecord) -> None:
+    """The run summary's view of supervised-executor diagnostics."""
+    failures = record.environment.get("shard_failures") or []
+    if not failures:
+        return
+    print(
+        f"shard failures: {len(failures)} worker attempt(s) lost and recovered "
+        "(results unaffected)"
+    )
+    for failure in failures:
+        print(
+            f"  shard {failure.get('shard')} attempt {failure.get('attempt')} "
+            f"[{failure.get('kind')}]: {failure.get('detail')}"
+        )
 
 
 def _format_number(value) -> str:
@@ -682,12 +774,146 @@ def render_config(config: RuntimeConfig) -> str:
 
 
 def cmd_config(args: argparse.Namespace) -> int:
-    config = current().config
+    runtime = _command_runtime(args)
+    config = runtime.config
+    if args.diff:
+        return _config_diff(args.diff, runtime, as_json=args.json)
     if args.json:
         payload = {"runtime": config.describe(), "provenance": config.provenance_map()}
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_config(config))
+    return 0
+
+
+def _config_diff(run_id: str, runtime: RuntimeContext, as_json: bool) -> int:
+    """Compare the live resolved config against a stored record's snapshot.
+
+    The record's ``environment["runtime"]`` is the :meth:`RuntimeConfig.describe`
+    mapping captured when the run executed, so the comparison answers the
+    reproduction question directly: "would rerunning now resolve the same
+    knobs that produced this record?"  Exit 0 when identical, 1 when any
+    field differs, 2 when the record is missing or predates config capture.
+    """
+    store = runtime.store
+    try:
+        record = store.load(run_id)
+    except (OSError, ValueError) as exc:
+        print(f"config --diff: cannot load run {run_id!r} from {store.root}: {exc}",
+              file=sys.stderr)
+        return 2
+    stored = record.environment.get("runtime")
+    if not isinstance(stored, dict):
+        print(
+            f"config --diff: run {run_id!r} predates runtime-config capture "
+            "(no environment['runtime'] in its record)",
+            file=sys.stderr,
+        )
+        return 2
+    live = runtime.config.describe()
+    fields = sorted(set(live) | set(stored))
+    differing = [
+        name for name in fields
+        if str(live.get(name, "<absent>")) != str(stored.get(name, "<absent>"))
+    ]
+    if as_json:
+        payload = {
+            "run_id": run_id,
+            "identical": not differing,
+            "differing": {
+                name: {"live": live.get(name), "stored": stored.get(name)}
+                for name in differing
+            },
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 1 if differing else 0
+    if not differing:
+        print(f"live config matches run {run_id} ({len(fields)} fields)")
+        return 0
+    rows = [("field", "live", f"run {run_id}")]
+    for name in differing:
+        rows.append((name, str(live.get(name, "<absent>")), str(stored.get(name, "<absent>"))))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    print("\n".join(lines))
+    print(f"\n{len(differing)} field(s) differ from run {run_id}")
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# repro chaos
+# ---------------------------------------------------------------------------
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run one experiment twice — faulted+sharded, then clean+serial — and
+    assert the two records carry the same fingerprint.
+
+    This is the executable form of the supervised executor's contract: worker
+    loss, hangs and injected store faults may cost wall-clock, but they must
+    never change results.
+    """
+    try:
+        plan = FaultPlan.parse(args.plan)
+    except FaultPlanError as exc:
+        print(f"chaos: invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+
+    smoke: bool | None = None
+    if args.smoke:
+        smoke = True
+    elif args.full:
+        smoke = False
+    config = ExperimentConfig(smoke=smoke, train_steps=args.train_steps, seed=args.seed)
+
+    overrides: dict = {"fault_plan": plan.spec, "shards": max(args.shards, 1)}
+    if args.timeout is not None:
+        overrides["shard_timeout"] = args.timeout
+    if args.retries is not None:
+        overrides["shard_retries"] = args.retries
+
+    print(
+        f"chaos leg: {args.experiment} with {overrides['shards']} shard(s) "
+        f"under plan {plan.spec!r}"
+    )
+    chaos_runtime = current().derive(**overrides)
+    with chaos_runtime.activate(adopt=False):
+        chaos_record = run_experiment(args.experiment, config, store=None).record
+    failures = chaos_record.environment.get("shard_failures") or []
+    _print_shard_failures(chaos_record)
+    if not failures:
+        print("chaos leg completed fault-free (the plan never fired)")
+
+    # The clean leg clears fault_plan explicitly so an ambient
+    # REPRO_FAULT_PLAN cannot fault both legs and vacuously "agree".
+    print(f"clean leg: {args.experiment} serial, no faults")
+    clean_runtime = current().derive(shards=1, fault_plan="")
+    with clean_runtime.activate(adopt=False):
+        clean_record = run_experiment(args.experiment, config, store=None).record
+
+    chaos_fingerprint = chaos_record.fingerprint()
+    clean_fingerprint = clean_record.fingerprint()
+    print(f"chaos fingerprint {chaos_fingerprint}")
+    print(f"clean fingerprint {clean_fingerprint}")
+    if chaos_fingerprint != clean_fingerprint:
+        print(
+            "FAIL: fingerprints diverge — fault recovery changed results",
+            file=sys.stderr,
+        )
+        return 1
+    if args.expect_failures and not failures:
+        print(
+            "FAIL: --expect-failures was given but no shard failure occurred "
+            "(plan matched nothing — check shard/attempt matchers)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: fingerprint parity under fault plan "
+        f"({len(failures)} shard failure(s) recovered)"
+    )
     return 0
 
 
@@ -789,6 +1015,7 @@ def main(argv: list[str] | None = None) -> int:
         "cache": cmd_cache,
         "list": cmd_list,
         "config": cmd_config,
+        "chaos": cmd_chaos,
         "lint": cmd_lint,
     }
     # The CLI entry is a process edge: REPRO_* variables are read exactly

@@ -513,6 +513,13 @@ def _finalize(
     record.finished_at = datetime.now(timezone.utc).isoformat(timespec="microseconds")
     record.duration_seconds = round(time.perf_counter() - start, 3)
     record.cache_stats = _stats_delta(stats_before, runtime.caches.stats())
+    # Supervised-executor diagnostics: every worker death/timeout the run
+    # survived, as structured data.  Lives in `environment` (not fingerprinted
+    # — a degraded-but-recovered run is result-identical to a clean one) and
+    # feeds the `repro run` summary and `repro chaos`'s fired-plan assertion.
+    failures = runtime.drain_shard_failures()
+    if failures:
+        record.environment["shard_failures"] = [f.to_dict() for f in failures]
 
 
 def make_run_record(name: str):

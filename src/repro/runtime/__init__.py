@@ -42,6 +42,15 @@ from repro.runtime.config import (
     reset_deprecation_warnings,
 )
 from repro.runtime.context import RuntimeContext, current, default_context
+from repro.runtime.faults import (
+    FaultInjected,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    arm_worker,
+    fault_sites,
+    inject,
+)
 from repro.runtime.store import CacheLockTimeout, FileLock, SharedCacheStore
 
 __all__ = [
@@ -50,6 +59,10 @@ __all__ = [
     "CacheSet",
     "CacheStats",
     "ENV_KNOBS",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
     "FileLock",
     "KeyedCache",
     "PROVENANCE_DEFAULT",
@@ -59,12 +72,15 @@ __all__ = [
     "RuntimeContext",
     "SharedCacheStore",
     "SnapshotStatus",
+    "arm_worker",
     "cache_snapshot_filename",
     "current",
     "default_context",
     "env_float",
     "env_int",
     "explicit_context_seen",
+    "fault_sites",
+    "inject",
     "note_explicit_context",
     "reset_deprecation_warnings",
 ]

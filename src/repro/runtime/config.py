@@ -50,6 +50,9 @@ ENV_KNOBS: dict[str, str] = {
     "cache_max_entries": "REPRO_CACHE_MAX_ENTRIES",
     "cache_lock_timeout": "REPRO_CACHE_LOCK_TIMEOUT",
     "cache_live_sync": "REPRO_CACHE_LIVE_SYNC",
+    "shard_timeout": "REPRO_SHARD_TIMEOUT",
+    "shard_retries": "REPRO_SHARD_RETRIES",
+    "fault_plan": "REPRO_FAULT_PLAN",
     "results_dir": "REPRO_RESULTS_DIR",
     "seed": "REPRO_SEED",
     "verify_plans": "REPRO_VERIFY_PLANS",
@@ -169,6 +172,15 @@ class RuntimeConfig:
     #: boundaries, so concurrent processes share warmth live (not just at
     #: load/exit).
     cache_live_sync: bool = False
+    #: per-shard wall-clock seconds before the supervised executor reaps a
+    #: worker as hung (``<= 0`` disables the timeout).
+    shard_timeout: float = 300.0
+    #: supervised re-runs of a dead/hung shard before the executor falls back
+    #: to in-process serial execution of that partition.
+    shard_retries: int = 2
+    #: fault-injection plan spec (see :mod:`repro.runtime.faults`); empty
+    #: means no injected faults.
+    fault_plan: str = ""
     #: root of the on-disk artifact store.
     results_dir: str = "results"
     #: seed of the context's root RNG.
@@ -259,7 +271,15 @@ class RuntimeConfig:
         integer("frontier_width", 8, minimum=1)
         integer("cache_max_entries", 4096)
         integer("seed", 0)
+        integer("shard_retries", 2, minimum=0)
         floating("cache_lock_timeout", 10.0, minimum=0.0)
+        floating("shard_timeout", 300.0)
+
+        raw_plan = environ.get(ENV_KNOBS["fault_plan"])
+        values["fault_plan"] = ""
+        if raw_plan:
+            values["fault_plan"] = raw_plan
+            tags["fault_plan"] = PROVENANCE_ENV
 
         raw_steps = environ.get(ENV_KNOBS["train_steps"])
         values["train_steps"] = None
@@ -346,6 +366,9 @@ class RuntimeConfig:
             "cache_max_entries": self.cache_max_entries,
             "cache_lock_timeout": self.cache_lock_timeout,
             "cache_live_sync": self.cache_live_sync,
+            "shard_timeout": self.shard_timeout,
+            "shard_retries": self.shard_retries,
+            "fault_plan": self.fault_plan,
             "results_dir": self.results_dir,
             "seed": self.seed,
             "verify_plans": self.verify_plans,

@@ -60,6 +60,11 @@ class RuntimeContext:
     ) -> None:
         self.config = config if config is not None else RuntimeConfig()
         self.caches = caches if caches is not None else CacheSet()
+        #: structured ShardFailure diagnostics the supervised executor
+        #: recorded while running under this context (see
+        #: :meth:`record_shard_failures`); the experiment runner drains them
+        #: into the run record's environment.
+        self.shard_failures: list = []
         self._store = store
         self._shared_store = None
         self._rng = None
@@ -67,12 +72,14 @@ class RuntimeContext:
 
     def __getstate__(self) -> dict:
         # The store and RNGs are recreated lazily on the other side; config and
-        # caches are the identity of the context.
+        # caches are the identity of the context.  Failure diagnostics are
+        # parent-side observations and stay behind.
         return {"config": self.config, "caches": self.caches}
 
     def __setstate__(self, state: dict) -> None:
         self.config = state["config"]
         self.caches = state["caches"]
+        self.shard_failures = []
         self._store = None
         self._shared_store = None
         self._rng = None
@@ -212,6 +219,25 @@ class RuntimeContext:
         return self.caches.plan.get_or_compute(
             key, compute, enabled=self.config.eval_cache
         )
+
+    # -- shard-failure diagnostics -------------------------------------------
+
+    #: cap on retained failure diagnostics — a pathological chaos loop must
+    #: not grow a long-lived (e.g. default) context without bound.
+    _MAX_SHARD_FAILURES = 1000
+
+    def record_shard_failures(self, failures) -> None:
+        """Append supervised-executor failure diagnostics to this context."""
+        self.shard_failures.extend(failures)
+        overflow = len(self.shard_failures) - self._MAX_SHARD_FAILURES
+        if overflow > 0:
+            del self.shard_failures[:overflow]
+
+    def drain_shard_failures(self) -> list:
+        """Return and clear the recorded failures (runner: once per run)."""
+        drained = list(self.shard_failures)
+        self.shard_failures.clear()
+        return drained
 
     # -- snapshot persistence ------------------------------------------------
 

@@ -60,6 +60,7 @@ from repro.runtime.caches import (
     SnapshotStatus,
     _picklable_entries,
 )
+from repro.runtime.faults import SITE_SNAPSHOT_LOAD, SITE_STORE_PUBLISH, inject
 
 log = logging.getLogger(__name__)
 
@@ -475,6 +476,11 @@ class SharedCacheStore:
         """
         cap = max_entries if max_entries is not None and max_entries > 0 else None
         try:
+            # Inside the error envelope on purpose: an injected fault here
+            # (FaultInjected is an OSError) exercises the same degradation
+            # a real disk failure would — a `write-failed` status, never a
+            # crashed publisher.
+            inject(SITE_STORE_PUBLISH)
             with self.lock.acquire(timeout=lock_timeout):
                 state = self._read_disk()
                 disk = state.contents.entries
@@ -546,6 +552,9 @@ class SharedCacheStore:
         if not os.path.exists(self.path):
             return None, SnapshotStatus("load", self.path, "missing")
         try:
+            # Same envelope as real I/O failures: an injected fault loads as
+            # an `unreadable` status, so runs degrade to cold instead of dying.
+            inject(SITE_SNAPSHOT_LOAD)
             with self.lock.acquire(timeout=lock_timeout):
                 state = self._read_disk()
         except CacheLockTimeout as exc:

@@ -262,8 +262,16 @@ class LatencyEvaluator:
             binding = binding_for_slot(slot, self.batch, self.coefficients)
             try:
                 return lower_to_loopnest(operator, binding)
-            except Exception:
-                pass
+            except Exception as exc:
+                # Lowering rejected the (operator, slot) pairing — e.g. a
+                # coefficient that does not divide this slot's channels.  The
+                # slot keeps its standard convolution, which is the paper's
+                # behavior for non-substitutable slots, but the skip is
+                # logged so a systematically failing operator is visible.
+                log.debug(
+                    "operator not lowerable at slot %s (%s); keeping the "
+                    "standard convolution", slot, exc,
+                )
         return loopnest_for_slot(slot, batch=self.batch)
 
     def substituted_latency(self, operator: SynthesizedOperator) -> float:

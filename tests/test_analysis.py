@@ -337,6 +337,98 @@ class TestRuntimeThreadingRule:
         assert findings == []
 
 
+class TestExceptionHygieneRule:
+    def test_bare_except_fires(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path,
+            "repro/search/swallow.py",
+            """\
+            def load(path):
+                try:
+                    return open(path).read()
+                except:
+                    return None
+            """,
+            rules=["exception-hygiene"],
+        )
+        assert len(findings) == 1
+        assert findings[0].key == "bare:load"
+        assert "SystemExit" in findings[0].message
+
+    def test_silent_broad_handler_fires(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path,
+            "repro/search/silent.py",
+            """\
+            def publish(store, entries):
+                try:
+                    store.write(entries)
+                except Exception:
+                    pass
+            """,
+            rules=["exception-hygiene"],
+        )
+        assert [f.key for f in findings] == ["silent:publish"]
+
+    def test_broad_handler_in_a_tuple_fires(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path,
+            "repro/search/tupled.py",
+            """\
+            def probe(fn):
+                try:
+                    fn()
+                except (ValueError, BaseException):
+                    ...
+            """,
+            rules=["exception-hygiene"],
+        )
+        assert len(findings) == 1
+        assert "BaseException" in findings[0].message
+
+    def test_handled_broad_and_narrow_silent_handlers_are_fine(self, tmp_path):
+        source = """\
+            import logging
+
+            log = logging.getLogger(__name__)
+
+            def tolerant(fn):
+                try:
+                    return fn()
+                except Exception as exc:
+                    log.warning("fn failed: %s", exc)
+                    return None
+
+            def narrow(path):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+            """
+        assert lint_fixture(tmp_path, "repro/search/fine.py", source,
+                            rules=["exception-hygiene"]) == []
+
+    def test_key_names_the_enclosing_scope(self, tmp_path):
+        # Same shape in two functions → two distinct baseline keys, and
+        # line churn does not change either of them.
+        source = """\
+            def first(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+
+            def second(fn):
+                try:
+                    fn()
+                except Exception:
+                    pass
+            """
+        findings = lint_fixture(tmp_path, "repro/search/twice.py", source,
+                                rules=["exception-hygiene"])
+        assert {f.key for f in findings} == {"silent:first", "silent:second"}
+
+
 class TestBaseline:
     def test_round_trip_and_stale_detection(self, tmp_path):
         findings = lint_fixture(tmp_path, "repro/search/stateful.py", "_CACHE = {}\n",

@@ -437,3 +437,115 @@ def test_cli_two_fresh_processes_share_the_persisted_caches(tmp_path):
     first, second = (record.cache_stats.get("compile", {}) for record in records)
     assert first.get("misses", 0) > 0
     assert second.get("misses", 0) == 0 and second.get("hits", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# repro run: a held store lock is fatal, with advice
+# ---------------------------------------------------------------------------
+
+
+def test_cli_run_refuses_a_held_store_lock(tmp_path, capsys, monkeypatch, lock_holder):
+    """A lock held by another process refuses the run (exit 4) actionably."""
+    from repro.cli.main import EXIT_STORE_LOCKED
+
+    monkeypatch.setenv("REPRO_CACHE_LOCK_TIMEOUT", "0.2")
+    store = ArtifactStore(tmp_path)
+    SharedCacheStore(store.cache_path).publish({"reward": {"warm": 1.0}})
+    lock_holder(str(store.cache_path) + ".lock")
+
+    exit_code = main(["run", "ablation-materialization", "--results-dir", str(tmp_path)])
+    assert exit_code == EXIT_STORE_LOCKED == 4
+    err = capsys.readouterr().err
+    assert "run refused" in err and "locked" in err
+    # The message must tell the user what to *do*, not just what happened.
+    assert "REPRO_CACHE_LOCK_TIMEOUT" in err
+    assert "--no-cache-persist" in err
+    assert "repro cache --clear" in err
+    assert ArtifactStore(tmp_path).list_runs() == []  # nothing half-ran
+
+
+def test_cli_run_with_no_cache_persist_ignores_the_held_lock(
+    tmp_path, monkeypatch, lock_holder
+):
+    monkeypatch.setenv("REPRO_CACHE_LOCK_TIMEOUT", "0.2")
+    store = ArtifactStore(tmp_path)
+    SharedCacheStore(store.cache_path).publish({"reward": {"warm": 1.0}})
+    lock_holder(str(store.cache_path) + ".lock")
+
+    argv = [
+        "run", "ablation-materialization",
+        "--results-dir", str(tmp_path), "--no-cache-persist",
+    ]
+    assert main(argv) == 0
+    (record,) = ArtifactStore(tmp_path).list_runs()
+    assert record.status == "completed"
+
+
+# ---------------------------------------------------------------------------
+# repro chaos: fingerprint parity under a fault plan
+# ---------------------------------------------------------------------------
+
+
+def test_cli_chaos_asserts_parity_with_a_killed_shard(capsys):
+    argv = [
+        "chaos", "figure8", "--smoke", "--train-steps", "2", "--shards", "4",
+        "--plan", "kill:shard-entry:shard=1,attempt=1", "--expect-failures",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "OK: fingerprint parity" in out
+    assert "shard 1 attempt 1 [signal]" in out
+
+
+def test_cli_chaos_rejects_malformed_plans(capsys):
+    argv = ["chaos", "figure8", "--plan", "explode:warp-core"]
+    assert main(argv) == 2
+    assert "invalid fault plan" in capsys.readouterr().err
+
+
+def test_cli_chaos_expect_failures_catches_plans_that_never_fire(capsys):
+    argv = [
+        "chaos", "figure8", "--smoke", "--train-steps", "2", "--shards", "2",
+        "--plan", "kill:shard-entry:shard=99", "--expect-failures",
+    ]
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "completed fault-free" in captured.out
+    assert "--expect-failures" in captured.err
+
+
+# ---------------------------------------------------------------------------
+# repro config --diff: live config vs a stored record
+# ---------------------------------------------------------------------------
+
+
+def test_cli_config_diff_matches_its_own_run(tmp_path, capsys):
+    assert main(["run", "ablation-materialization", "--results-dir", str(tmp_path)]) == 0
+    run_id = ArtifactStore(tmp_path).list_runs()[0].run_id
+    capsys.readouterr()
+
+    assert main(["config", "--diff", run_id, "--results-dir", str(tmp_path)]) == 0
+    assert "matches" in capsys.readouterr().out
+
+
+def test_cli_config_diff_flags_a_changed_knob(tmp_path, capsys, monkeypatch):
+    assert main(["run", "ablation-materialization", "--results-dir", str(tmp_path)]) == 0
+    run_id = ArtifactStore(tmp_path).list_runs()[0].run_id
+    capsys.readouterr()
+
+    monkeypatch.setenv("REPRO_SEARCH_SHARDS", "6")
+    assert main(["config", "--diff", run_id, "--results-dir", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "shards" in out and "6" in out
+
+    assert main(
+        ["config", "--diff", run_id, "--results-dir", str(tmp_path), "--json"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["identical"] is False
+    assert payload["differing"]["shards"]["live"] == 6
+
+
+def test_cli_config_diff_unknown_run_exits_2(tmp_path, capsys):
+    assert main(["config", "--diff", "no-such-run", "--results-dir", str(tmp_path)]) == 2
+    assert "cannot load run" in capsys.readouterr().err
