@@ -120,6 +120,34 @@ assert speedup is not None and speedup >= 1.5, (
 print(f"OK: compiled-plan speedup {speedup}x (>= 1.5x)")
 PY
 
+echo "== serve smoke: coalesced requests must match serial fingerprints =="
+# The serving layer's acceptance contract, end to end through the CLI: a
+# real SearchServer on an ephemeral port, 3 concurrent socket clients with
+# distinct seeds, and — inside `bench serve` itself — a serial
+# `run_experiment` of every request whose fingerprint must equal the served
+# one.  A clean exit also means the server thread joined (no orphan
+# workers); the lock check below ensures the store was released.
+SERVE_DIR="$RESULTS_DIR/serve"
+python -m repro.cli bench serve --clients 3 --smoke --train-steps 2 --seed 0 \
+  --results-dir "$SERVE_DIR"
+python - "$SERVE_DIR" <<'PY'
+import json, sys
+from pathlib import Path
+
+serve_dir = Path(sys.argv[1])
+entry = json.loads((serve_dir / "BENCH_serve.json").read_text())["entries"][-1]
+assert entry["clients"] == 3, f"expected 3 clients, got {entry['clients']}"
+assert entry["parity"] is True, "served fingerprints diverged from serial runs"
+coalescer = entry["coalescer"]
+assert coalescer["waves"] >= 1, "the coalescer never ran a wave"
+amortized = coalescer["coalesced"] + coalescer["cache_hits"]
+assert amortized >= 1, f"no cross-client amortization recorded: {coalescer}"
+locks = list(serve_dir.rglob("*.lock"))
+assert not locks, f"store lock(s) left behind: {locks}"
+print(f"OK: 3 served fingerprints match serial; "
+      f"{coalescer['waves']} wave(s), {amortized} evaluation(s) amortized")
+PY
+
 echo "== sharded sweep: bench --all at 1 and 2 shards must agree =="
 # Every registered experiment, once per shard setting, into one trajectory
 # file per setting.  Since the RuntimeContext redesign this exercises the

@@ -20,12 +20,15 @@ from __future__ import annotations
 
 import argparse
 import ast
+import contextlib
 import csv
 import io
 import json
 import logging
 import os
+import signal
 import sys
+import threading
 import time
 from datetime import datetime, timezone
 from pathlib import Path
@@ -103,6 +106,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not load/save the evaluation-cache snapshot around this run",
     )
+    run.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise experiment failures with the full traceback "
+        "(default: a one-line message; the traceback goes to the debug log)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the coalescing search service (concurrent clients share "
+        "reward waves and the warm caches)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (default 0: pick an ephemeral port)"
+    )
+    serve.add_argument("--socket", help="serve on this unix socket path instead of TCP")
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=50.0,
+        help="wave coalescing window in milliseconds: how long a lone request's "
+        "wave waits for company before firing (default 50)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        help="worker shards for each coalesced fan-out (REPRO_SEARCH_SHARDS)",
+    )
+    serve.add_argument("--results-dir", help="artifact store root request records land in")
+    serve.add_argument(
+        "--no-cache-persist",
+        action="store_true",
+        help="do not load/save the evaluation-cache snapshot around the service",
+    )
 
     bench = subparsers.add_parser(
         "bench",
@@ -111,8 +149,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         nargs="?",
-        choices=experiment_names(),
-        help="which figure/table to time (omit with --all)",
+        choices=experiment_names() + ["serve"],
+        help="which figure/table to time (omit with --all); `serve` benchmarks "
+        "the coalescing search service against serial parity runs",
+    )
+    bench.add_argument(
+        "--clients",
+        type=int,
+        default=3,
+        help="bench serve: concurrent clients driving the service (default 3)",
     )
     bench.add_argument(
         "--all",
@@ -345,7 +390,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         # The partial record (status=interrupted) was already stored by the
         # runner; persisting the caches makes the rerun skip finished work.
-        _save_snapshot()
+        # The save is shielded: a second Ctrl-C here would otherwise unwind
+        # it mid-critical-section and strand the shared store lock for every
+        # other process.
+        with _deferred_interrupts():
+            _save_snapshot()
         print(
             f"\ninterrupted — rerun `repro run {args.experiment}` to resume "
             "from the persisted caches",
@@ -359,7 +408,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         return EXIT_STORE_LOCKED
     except Exception as exc:
         _save_snapshot()
-        print(f"experiment failed: {exc}", file=sys.stderr)
+        log.debug("experiment %s failed", args.experiment, exc_info=True)
+        if getattr(args, "debug", False):
+            raise
+        print(
+            f"experiment failed: {exc} (rerun with --debug for the full traceback)",
+            file=sys.stderr,
+        )
         return 1
 
     record = outcome.record
@@ -375,6 +430,38 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"record stored in {store.run_dir(record.run_id)}")
     _save_snapshot()
     return 0
+
+
+@contextlib.contextmanager
+def _deferred_interrupts():
+    """Delay SIGINT delivery for the duration of the block.
+
+    Shields a critical section on the interrupt path — specifically the
+    cache-snapshot save, which holds the shared store lock: interrupting it
+    would leave the lock held and wedge every other process on the store.
+    A Ctrl-C received inside the block is acknowledged on stderr and then
+    dropped, because the caller is already on its way to exit 130 — the
+    user's intent — the moment the block ends.  Signal handlers can only be
+    retargeted from the main thread; elsewhere (tests driving ``main()``
+    from a worker thread) the block runs unshielded.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGINT)
+
+    def _defer(signum, frame):
+        del signum, frame
+        print(
+            "\nfinishing the cache save before exiting (interrupt deferred)...",
+            file=sys.stderr,
+        )
+
+    signal.signal(signal.SIGINT, _defer)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGINT, previous)
 
 
 def _print_lock_advice(detail: str | None, cache_path) -> None:
@@ -419,6 +506,84 @@ def _format_cache_delta(cache_deltas: dict) -> str:
         delta = cache_deltas[name]
         parts.append(f"{name} {delta.get('hits', 0)} hits / {delta.get('misses', 0)} misses")
     return "; ".join(parts) if parts else "none"
+
+
+# ---------------------------------------------------------------------------
+# repro serve
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the coalescing search service until interrupted.
+
+    The daemon loads the cache snapshot once, serves every request over the
+    warm shared caches (per-request contexts derived from one root), and
+    saves the snapshot on the way out — interrupt-shielded, so Ctrl-C
+    Ctrl-C cannot strand the store lock.
+    """
+    from repro.serve import SearchServer, run_server
+
+    runtime = _command_runtime(args)
+    if args.shards is not None:
+        runtime = runtime.derive(shards=max(args.shards, 1))
+    store = runtime.store
+    persist = not args.no_cache_persist
+
+    if persist:
+        status = runtime.load_caches(str(store.cache_path))
+        if status.status == "locked":
+            _print_lock_advice(status.error, store.cache_path)
+            return EXIT_STORE_LOCKED
+        if status.status == "loaded" and any(status.entries.values()):
+            print(f"cache snapshot {status.summary()}")
+        elif not status.ok:
+            print(f"cache snapshot {status.summary()}", file=sys.stderr)
+
+    server = SearchServer(runtime, window_seconds=max(args.window_ms, 0.0) / 1000.0)
+
+    def _announce(address: str) -> None:
+        print(f"serving on {address} — press Ctrl-C to stop", flush=True)
+
+    exit_code = 0
+    try:
+        with runtime.activate(adopt=False):
+            run_server(
+                server,
+                host=args.host,
+                port=args.port,
+                socket_path=args.socket,
+                on_ready=_announce,
+            )
+    except KeyboardInterrupt:
+        print("\ninterrupted — shutting down", file=sys.stderr)
+        exit_code = 130
+    finally:
+        if args.socket:
+            # asyncio closes the listening socket but leaves the filesystem
+            # entry; a stale path would fail the next bind with EADDRINUSE.
+            Path(args.socket).unlink(missing_ok=True)
+        if persist:
+            with _deferred_interrupts():
+                status = runtime.save_caches(str(store.cache_path))
+            if status.status in ("saved", "merged"):
+                print(f"cache snapshot saved to {store.cache_path}: {status.summary()}")
+            else:
+                print(f"cache snapshot not written ({status.summary()})")
+
+    summary = server.status()
+    requests = summary["requests"]
+    coalescer = summary["coalescer"]
+    print(
+        f"served {requests['completed']} request(s) "
+        f"({requests['failed']} failed) over {summary['derived_contexts']} "
+        "derived context(s)"
+    )
+    print(
+        f"coalescer: {coalescer['waves']} wave(s), {coalescer['pending']} "
+        f"evaluation(s) -> {coalescer['tasks']} task(s) "
+        f"({coalescer['coalesced']} coalesced, {coalescer['cache_hits']} cache hit(s))"
+    )
+    return exit_code
 
 
 # ---------------------------------------------------------------------------
@@ -522,10 +687,136 @@ def _bench_one(experiment: str, config, repeats: int, no_compare: bool, dtype: s
     }
 
 
+def _bench_serve(args: argparse.Namespace, store: ArtifactStore, config: ExperimentConfig) -> int:
+    """Benchmark the coalescing search service against serial parity runs.
+
+    Starts an in-process server on an ephemeral port, drives ``--clients``
+    concurrent ``search`` requests (distinct seeds) through real sockets,
+    then re-runs every request serially through the same runner and compares
+    fingerprints.  The serve leg goes first, from cold caches, so its waves
+    measure real coalescing; the serial legs then run warm — which *is* the
+    parity claim: a reward's value cannot depend on where or when it was
+    computed, only on its cache key.
+    """
+    from repro.serve import SearchServer, ServeClient, start_server_thread
+
+    clients = max(args.clients, 1)
+    base_seed = config.seed if config.seed is not None else current().config.seed
+    experiment = "search"
+
+    def _request_config(index: int) -> ExperimentConfig:
+        return ExperimentConfig(
+            smoke=config.smoke,
+            train_steps=config.train_steps,
+            seed=base_seed + index,
+            options=dict(config.options),
+        )
+
+    runtime = current()
+    runtime.caches.clear()
+    server = SearchServer(runtime)
+    server_thread, address = start_server_thread(server)
+    print(f"bench serve: {clients} client(s) against {address} running `{experiment}`")
+
+    results: list[dict | None] = [None] * clients
+    failures: list[tuple[int, Exception]] = []
+
+    def _drive(index: int) -> None:
+        try:
+            with ServeClient(port=server.port) as client:
+                results[index] = client.run(
+                    experiment, _request_config(index), request_id=f"client-{index}"
+                )
+        except Exception as exc:
+            failures.append((index, exc))
+            log.warning("bench serve client %d failed", index, exc_info=True)
+
+    start = time.perf_counter()
+    workers = [
+        threading.Thread(target=_drive, args=(index,), name=f"bench-client-{index}")
+        for index in range(clients)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    serve_seconds = round(time.perf_counter() - start, 3)
+    coalescer_stats = server.coalescer.stats()
+
+    server.request_shutdown()
+    server_thread.join(timeout=30.0)
+    if server_thread.is_alive():
+        print("FAIL: the server did not shut down cleanly", file=sys.stderr)
+        return 1
+    if failures:
+        for index, exc in failures:
+            print(f"client {index} failed: {exc}", file=sys.stderr)
+        return 1
+
+    mismatches: list[int] = []
+    serial_times: list[float] = []
+    for index in range(clients):
+        leg_start = time.perf_counter()
+        record = run_experiment(experiment, _request_config(index), store=None).record
+        serial_times.append(round(time.perf_counter() - leg_start, 3))
+        served = results[index]
+        serial_fingerprint = record.fingerprint()
+        match = served is not None and served["fingerprint"] == serial_fingerprint
+        if not match:
+            mismatches.append(index)
+        print(
+            f"  client {index} (seed {base_seed + index}): "
+            f"serve {served['fingerprint'][:16] if served else '<missing>'}  "
+            f"serial {serial_fingerprint[:16]}  "
+            f"{'ok' if match else 'MISMATCH'}"
+        )
+
+    print(
+        f"  serve leg: {clients} request(s) in {serve_seconds:.2f}s "
+        f"({clients / max(serve_seconds, 1e-9):.2f} req/s)"
+    )
+    print(
+        f"  coalescer: {coalescer_stats['waves']} wave(s), "
+        f"{coalescer_stats['pending']} evaluation(s) -> "
+        f"{coalescer_stats['tasks']} task(s) "
+        f"({coalescer_stats['coalesced']} coalesced across clients, "
+        f"{coalescer_stats['cache_hits']} cache hit(s))"
+    )
+
+    entry = {
+        "experiment": "serve",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": config.to_dict(),
+        "clients": clients,
+        "serve_wall_seconds": serve_seconds,
+        "requests_per_second": round(clients / max(serve_seconds, 1e-9), 3),
+        # Warm-cache parity reruns, not a fair serial baseline.
+        "serial_parity_seconds": serial_times,
+        "coalescer": coalescer_stats,
+        "parity": not mismatches,
+    }
+    output = Path(args.output) if args.output else store.root / "BENCH_serve.json"
+    _append_bench_record(output, entry, name="serve")
+    print(f"bench record appended to {output}")
+
+    if mismatches:
+        print(
+            f"FAIL: serve/serial fingerprints diverge for client(s) "
+            f"{', '.join(map(str, mismatches))}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {clients}/{clients} client fingerprint(s) identical to serial runs")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     store = _store(args)
     config = config_from_args(args)
     repeats = max(args.repeats, 1)
+
+    if args.experiment == "serve":
+        return _bench_serve(args, store, config)
 
     if args.all_experiments:
         if args.experiment is not None:
@@ -649,13 +940,19 @@ def cmd_report(args: argparse.Namespace) -> int:
         text = render_csv_report(records)
     else:
         text = render_markdown_report(records)
+    if not records:
+        # Decide emptiness *before* touching --output: an exit-1 invocation
+        # must never leave a freshly written report (and a "report written"
+        # line) behind as if it had succeeded.
+        print(text, end="" if text.endswith("\n") else "\n")
+        if args.output:
+            print(f"report not written to {args.output} (no stored runs)", file=sys.stderr)
+        return 1
     if args.output:
         Path(args.output).write_text(text if text.endswith("\n") else text + "\n", encoding="utf-8")
         print(f"report written to {args.output}")
     else:
         print(text, end="" if text.endswith("\n") else "\n")
-    if not records:
-        return 1
     return 0
 
 
@@ -1010,6 +1307,7 @@ def main(argv: list[str] | None = None) -> int:
     logging.basicConfig(level=logging.INFO if args.verbose else logging.WARNING)
     handlers = {
         "run": cmd_run,
+        "serve": cmd_serve,
         "bench": cmd_bench,
         "report": cmd_report,
         "cache": cmd_cache,

@@ -265,6 +265,13 @@ class MCTS:
         if evaluate_batch is not None:
             return dict(evaluate_batch(pending))
         runtime = self.runtime if self.runtime is not None else current()
+        wave_evaluator = getattr(runtime, "wave_evaluator", None)
+        if wave_evaluator is not None:
+            # The serving layer installed a coalescer on this context: hand
+            # the whole wave over so concurrent searches share one fan-out.
+            # Wave *composition* already happened (propose_batch), so where
+            # the rewards come from cannot change the sample sequence.
+            return dict(wave_evaluator(pending, self.reward_fn, self._context, runtime))
         rewards: dict[str, float] = {}
         for signature, operator in pending:
             rewards[signature] = runtime.cached_reward(

@@ -264,6 +264,25 @@ def _shape_distance_metrics(result) -> dict:
     }
 
 
+def _search_metrics(result) -> dict:
+    metrics: dict[str, float] = {
+        "iterations": result.iterations,
+        "max_depth": result.max_depth,
+        "train_steps": result.train_steps,
+        "baseline_reward": result.baseline_reward,
+        "baseline_perplexity": result.baseline_perplexity,
+        "evaluations": result.evaluations,
+        "qualified": len(result.candidates),
+    }
+    best = result.best()
+    if best is not None:
+        metrics["best_reward"] = best.reward
+        metrics["best_perplexity"] = best.perplexity
+        metrics["best_macs"] = best.macs
+        metrics["best_speedup"] = best.speedup
+    return metrics
+
+
 def _alphanas_metrics(result) -> dict:
     metrics: dict[str, float] = {}
     for row in result.rows:
@@ -290,6 +309,7 @@ def _registry() -> dict[str, ExperimentSpec]:
         figure8,
         figure9,
         figure10,
+        search,
         table3,
     )
 
@@ -329,6 +349,10 @@ def _registry() -> dict[str, ExperimentSpec]:
         ExperimentSpec(
             "alphanas", alphanas_comparison.run, _alphanas_metrics,
             "Comparison with aNAS: FLOPs reduction and inference speedup",
+        ),
+        ExperimentSpec(
+            "search", search.run, _search_metrics,
+            "End-to-end MCTS search over the GPT-2 QKV projection slot (the serve workload)",
         ),
     ]
     return {spec.name: spec for spec in specs}

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import contextlib
 import contextvars
+import itertools
 import os
 from typing import TYPE_CHECKING, Any, Hashable, Callable, Iterator, TypeVar
 
@@ -65,6 +66,18 @@ class RuntimeContext:
         #: :meth:`record_shard_failures`); the experiment runner drains them
         #: into the run record's environment.
         self.shard_failures: list = []
+        #: batched reward-evaluation hook installed by the serving layer
+        #: (see :mod:`repro.serve`): ``(pending, reward_fn, cache_context,
+        #: runtime) -> Mapping[signature, reward]``.  When set, MCTS hands
+        #: each frontier wave to it instead of evaluating serially or
+        #: building its own sharded fan-out, which is how concurrent searches
+        #: coalesce their waves.  Deliberately not pickled: a shard worker
+        #: must never recurse into the parent's coalescer.
+        self.wave_evaluator: Callable | None = None
+        #: how many contexts :meth:`derive` has produced from this one — the
+        #: serving layer's per-request accounting (`repro serve` reports it).
+        self.derived_count = 0
+        self._derived_ids = itertools.count(1)
         self._store = store
         self._shared_store = None
         self._rng = None
@@ -80,6 +93,9 @@ class RuntimeContext:
         self.config = state["config"]
         self.caches = state["caches"]
         self.shard_failures = []
+        self.wave_evaluator = None
+        self.derived_count = 0
+        self._derived_ids = itertools.count(1)
         self._store = None
         self._shared_store = None
         self._rng = None
@@ -182,11 +198,20 @@ class RuntimeContext:
         warm caches stay (cache keys already encode every knob that affects a
         cached value, so sharing is safe).  Overriding ``results_dir`` drops
         the materialized store so the derived context re-roots it.
+
+        The :attr:`wave_evaluator` hook carries over — a request context the
+        serving layer derived stays coalesced when the runner derives the
+        run context from it — and :attr:`derived_count` tracks how many
+        contexts this one has fathered (``itertools.count`` so concurrent
+        request threads never lose an increment).
         """
         store = None if "results_dir" in overrides else self._store
-        return RuntimeContext(
+        derived = RuntimeContext(
             self.config.with_overrides(**overrides), caches=self.caches, store=store
         )
+        derived.wave_evaluator = self.wave_evaluator
+        self.derived_count = next(self._derived_ids)
+        return derived
 
     def isolated(self, **overrides: Any) -> "RuntimeContext":
         """A context with overridden config and **fresh, empty** caches."""

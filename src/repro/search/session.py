@@ -193,7 +193,10 @@ class SearchSession:
         )
         shards = self.config.effective_shards(self._rt())
         evaluate_batch = None
-        if shards > 1:
+        # A runtime carrying a wave_evaluator (the serving layer's coalescer)
+        # owns the fan-out: building a per-session sharded evaluator here
+        # would bypass it and forfeit cross-request wave coalescing.
+        if shards > 1 and getattr(self._rt(), "wave_evaluator", None) is None:
             evaluate_batch = sharded_reward_evaluator(
                 reward_fn, self.accuracy_evaluator._context, shards=shards,
                 runtime=self.runtime,

@@ -1,0 +1,39 @@
+"""The serving layer: ``repro serve`` and its wave-coalescing machinery.
+
+Four pieces, one per module:
+
+* :mod:`repro.serve.protocol` — the JSON-lines wire format and request
+  validation (allowlisted per-request runtime overrides);
+* :mod:`repro.serve.coalescer` — :class:`WaveCoalescer`, which merges
+  concurrent searches' MCTS frontier waves into shared ``sharded_map``
+  fan-outs over the server's warm caches;
+* :mod:`repro.serve.server` — :class:`SearchServer`, the asyncio daemon
+  that derives a per-request :class:`~repro.runtime.RuntimeContext` and
+  streams progress events back to each client;
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking
+  per-connection client used by ``repro bench serve`` and the tests.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalescer import WaveCoalescer, WaveStats
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    REQUEST_OVERRIDE_FIELDS,
+    RunRequest,
+)
+from repro.serve.server import SearchServer, run_server, start_server_thread
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "REQUEST_OVERRIDE_FIELDS",
+    "RunRequest",
+    "SearchServer",
+    "ServeClient",
+    "ServeError",
+    "WaveCoalescer",
+    "WaveStats",
+    "run_server",
+    "start_server_thread",
+]

@@ -1,0 +1,109 @@
+"""Blocking client for the search service.
+
+One :class:`ServeClient` wraps one connection and drives one request at a
+time — the shape ``repro bench serve`` and the tests need (N clients = N
+connections on N threads).  Events for the in-flight request stream through
+the optional ``on_event`` callback; :meth:`ServeClient.run` returns the
+final ``result`` event, whose ``fingerprint`` is the serve-side record
+identity to compare against a serial ``repro run``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Callable, Mapping
+
+from repro.experiments.runner import ExperimentConfig
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """The server reported an error, or the connection died mid-request."""
+
+
+class ServeClient:
+    """One blocking JSON-lines connection to a :class:`SearchServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        socket_path: str | None = None,
+        timeout: float = 600.0,
+    ) -> None:
+        if socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(str(socket_path))
+        elif port is not None:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            raise ValueError("need a port or a socket_path to connect to")
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ------------------------------------------------------------
+
+    def run(
+        self,
+        experiment: str,
+        config: ExperimentConfig | None = None,
+        overrides: Mapping | None = None,
+        request_id: str = "",
+        on_event: Callable[[dict], None] | None = None,
+    ) -> dict:
+        """Run one experiment on the server; returns the ``result`` event.
+
+        Streams every intermediate event (``accepted``, ``wave``...) through
+        ``on_event``; raises :class:`ServeError` if the server answers with
+        an ``error`` event instead of a result.
+        """
+        request = protocol.RunRequest(
+            experiment=experiment,
+            config=config if config is not None else ExperimentConfig(),
+            overrides=dict(overrides or {}),
+            request_id=request_id,
+        )
+        self._send(request.to_payload())
+        while True:
+            event = self._read_event()
+            if on_event is not None:
+                on_event(event)
+            kind = event.get("event")
+            if kind == "result":
+                return event
+            if kind == "error":
+                raise ServeError(event.get("error", "unknown server error"))
+
+    def status(self) -> dict:
+        self._send({"op": "status"})
+        return self._read_event()
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop; returns its final status snapshot."""
+        self._send({"op": "shutdown"})
+        return self._read_event()
+
+    # -- wire ----------------------------------------------------------------
+
+    def _send(self, message: Mapping) -> None:
+        self._sock.sendall(protocol.encode(message))
+
+    def _read_event(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        try:
+            return protocol.decode(line)
+        except protocol.ProtocolError as exc:
+            raise ServeError(f"unreadable server event: {exc}") from None

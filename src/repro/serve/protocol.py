@@ -1,0 +1,124 @@
+"""Wire protocol of the search service: JSON lines over a stream socket.
+
+Every message — request and event alike — is one JSON object per line,
+UTF-8, newline-terminated.  A client sends requests (``{"op": ...}``) and
+reads a stream of events (``{"event": ...}``) back:
+
+======== =====================================================================
+op       meaning
+======== =====================================================================
+run      run one registered experiment; streams ``accepted`` → ``wave``\\* →
+         ``result`` (or ``error``) events tagged with the request ``id``
+status   one ``status`` event: protocol version, request counts, coalescer
+         totals, derived-context accounting, cache sizes
+shutdown acknowledge with a final ``status``-shaped ``shutdown`` event, stop
+         accepting connections, drain in-flight runs
+======== =====================================================================
+
+A ``run`` request carries the experiment name, an
+:class:`~repro.experiments.runner.ExperimentConfig` payload (``config``) and
+optional per-request runtime overrides (``overrides``) applied when the
+server derives the request's context from its warm root.  Overrides are
+allowlisted: anything that would redirect the server's storage or otherwise
+reach outside the request (``results_dir``, ``cache_dir``, ...) is rejected
+at the protocol edge, not deep in the runtime.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.experiments.runner import ExperimentConfig, experiment_names
+
+PROTOCOL_VERSION = 1
+
+#: RuntimeConfig fields a request may pin on its derived context.  Everything
+#: else either belongs in the ExperimentConfig payload or is the server
+#: operator's business (storage roots, persistence, fault injection).
+REQUEST_OVERRIDE_FIELDS = (
+    "seed",
+    "smoke",
+    "train_steps",
+    "dtype",
+    "shards",
+    "frontier_width",
+    "eval_processes",
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid message line."""
+
+
+def encode(message: Mapping[str, Any]) -> bytes:
+    """One message → one newline-terminated JSON line."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """One received line → message dict, or :class:`ProtocolError`."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message line")
+    try:
+        payload = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    return payload
+
+
+@dataclass
+class RunRequest:
+    """One validated ``run`` request."""
+
+    experiment: str
+    config: ExperimentConfig = field(default_factory=ExperimentConfig)
+    overrides: dict = field(default_factory=dict)
+    request_id: str = ""
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "RunRequest":
+        experiment = payload.get("experiment")
+        if experiment not in experiment_names():
+            known = ", ".join(experiment_names())
+            raise ProtocolError(
+                f"unknown experiment {experiment!r}; expected one of: {known}"
+            )
+        raw_config = payload.get("config") or {}
+        if not isinstance(raw_config, Mapping):
+            raise ProtocolError("config must be a JSON object")
+        unknown = sorted(set(raw_config) - set(ExperimentConfig().to_dict()))
+        if unknown:
+            raise ProtocolError(f"unknown config field(s): {', '.join(unknown)}")
+        raw_overrides = payload.get("overrides") or {}
+        if not isinstance(raw_overrides, Mapping):
+            raise ProtocolError("overrides must be a JSON object")
+        rejected = sorted(set(raw_overrides) - set(REQUEST_OVERRIDE_FIELDS))
+        if rejected:
+            allowed = ", ".join(REQUEST_OVERRIDE_FIELDS)
+            raise ProtocolError(
+                f"override field(s) not allowed over the wire: "
+                f"{', '.join(rejected)} (allowed: {allowed})"
+            )
+        return cls(
+            experiment=experiment,
+            config=ExperimentConfig.from_dict(raw_config),
+            overrides=dict(raw_overrides),
+            request_id=str(payload.get("id", "")),
+        )
+
+    def to_payload(self) -> dict:
+        """The wire form a client sends (inverse of :meth:`from_payload`)."""
+        return {
+            "op": "run",
+            "id": self.request_id,
+            "experiment": self.experiment,
+            "config": self.config.to_dict(),
+            "overrides": dict(self.overrides),
+        }

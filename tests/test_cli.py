@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import signal
 import subprocess
 import sys
 from pathlib import Path
@@ -168,6 +169,18 @@ def test_cli_report_and_list_render_stored_runs(tmp_path, capsys):
 def test_cli_report_fails_without_runs(tmp_path, capsys):
     assert main(["report", "--results-dir", str(tmp_path / "empty")]) == 1
     assert "No stored runs" in capsys.readouterr().out
+
+
+def test_cli_report_output_is_not_written_when_the_store_is_empty(tmp_path, capsys):
+    """Exit-1 emptiness must be decided before --output touches the disk."""
+    out_file = tmp_path / "report.md"
+    argv = ["report", "--results-dir", str(tmp_path / "empty"), "--output", str(out_file)]
+    assert main(argv) == 1
+    captured = capsys.readouterr()
+    assert "No stored runs" in captured.out
+    assert "report written" not in captured.out
+    assert "report not written" in captured.err
+    assert not out_file.exists()
 
 
 def test_cli_cache_shows_snapshot_stats(tmp_path, capsys):
@@ -409,6 +422,81 @@ def test_failed_run_still_produces_a_record(tmp_path, monkeypatch):
         run_experiment("broken", store=store)
     record = store.list_runs()[0]
     assert record.status == "failed" and "boom" in record.error
+
+
+def _register_stub(monkeypatch, name, run_fn):
+    spec = ExperimentSpec(name, run_fn, lambda result: {}, "test stub")
+    real_registry = runner_module._registry
+    monkeypatch.setattr(
+        runner_module, "_registry", lambda: {**real_registry(), name: spec}
+    )
+
+
+def test_cli_run_failure_points_at_debug_and_debug_reraises(
+    tmp_path, monkeypatch, capsys, caplog
+):
+    """Default: one actionable line, full traceback in the debug log.
+
+    With --debug the original exception propagates so the user gets the
+    real traceback instead of a summary of it.
+    """
+
+    def broken_run():
+        raise ValueError("kaboom")
+
+    _register_stub(monkeypatch, "broken", broken_run)
+    with caplog.at_level("DEBUG", logger="repro.cli.main"):
+        assert main(["run", "broken", "--results-dir", str(tmp_path)]) == 1
+    err = capsys.readouterr().err
+    assert "experiment failed: kaboom" in err
+    assert "--debug" in err
+    assert "Traceback" not in err  # the console line stays a one-liner
+    # ... but the traceback is preserved at debug level for log captures.
+    assert any(record.exc_info for record in caplog.records)
+
+    with pytest.raises(ValueError, match="kaboom"):
+        main(["run", "broken", "--results-dir", str(tmp_path), "--debug"])
+
+
+def test_second_interrupt_during_the_snapshot_save_is_deferred(
+    tmp_path, monkeypatch, capsys
+):
+    """Ctrl-C twice: the second SIGINT must not unwind the cache save.
+
+    The save holds the shared store lock; interrupting it would strand the
+    lock for every other process.  The handler installed around the save
+    acknowledges the signal and finishes the critical section.
+    """
+    import os
+
+    from repro.runtime import RuntimeContext
+
+    def interrupted_run():
+        raise KeyboardInterrupt
+
+    _register_stub(monkeypatch, "interrupting", interrupted_run)
+
+    real_save = RuntimeContext.save_caches
+
+    def save_with_second_interrupt(self, path):
+        os.kill(os.getpid(), signal.SIGINT)  # the second Ctrl-C, mid-save
+        return real_save(self, path)
+
+    monkeypatch.setattr(RuntimeContext, "save_caches", save_with_second_interrupt)
+    previous_handler = signal.getsignal(signal.SIGINT)
+
+    exit_code = main(["run", "interrupting", "--results-dir", str(tmp_path)])
+
+    assert exit_code == 130
+    err = capsys.readouterr().err
+    assert "interrupt deferred" in err
+    assert "rerun `repro run interrupting`" in err
+    # The save finished despite the signal, and nothing stayed locked.
+    store = ArtifactStore(tmp_path)
+    assert store.cache_path.exists()
+    assert SharedCacheStore(store.cache_path).lock_info() is None
+    # The original SIGINT disposition is restored after the shielded block.
+    assert signal.getsignal(signal.SIGINT) is previous_handler
 
 
 # ---------------------------------------------------------------------------
