@@ -148,6 +148,34 @@ print(f"OK: 3 served fingerprints match serial; "
       f"{coalescer['waves']} wave(s), {amortized} evaluation(s) amortized")
 PY
 
+echo "== library: shard-parity build + warm-started search =="
+# The graph library's determinism contract, end to end through the CLI: the
+# gpt2 design space built serially and rebuilt from scratch at 2 shards must
+# produce bit-identical artifacts (same content hash), and a warm-started
+# smoke search against the built library must run green (REPRO_WARM_START
+# degrades to a cold search only when no matching library exists — here one
+# does, so this exercises frontier seeding + sidecar publish for real).
+LIB_DIR="$RESULTS_DIR/library-check"
+library_hash() {
+  python -m repro.cli library stats gpt2 --json \
+    --library-dir "$LIB_DIR" --results-dir "$RESULTS_DIR" \
+    | python -c "import json,sys; print(json.load(sys.stdin)['libraries'][0]['content_hash'])"
+}
+python -m repro.cli library build gpt2 --max-depth 3 --shards 1 \
+  --library-dir "$LIB_DIR" --results-dir "$RESULTS_DIR"
+HASH_SERIAL="$(library_hash)"
+rm -rf "$LIB_DIR"
+python -m repro.cli library build gpt2 --max-depth 3 --shards 2 \
+  --library-dir "$LIB_DIR" --results-dir "$RESULTS_DIR"
+HASH_SHARDED="$(library_hash)"
+if [ "$HASH_SERIAL" != "$HASH_SHARDED" ]; then
+  echo "FAIL: serial ($HASH_SERIAL) and 2-shard ($HASH_SHARDED) library builds diverge" >&2
+  exit 1
+fi
+REPRO_WARM_START=1 REPRO_LIBRARY_DIR="$LIB_DIR" \
+  python -m repro.cli run search --smoke
+echo "OK: library builds bit-identical across shard counts ($HASH_SERIAL); warm-started search green"
+
 echo "== sharded sweep: bench --all at 1 and 2 shards must agree =="
 # Every registered experiment, once per shard setting, into one trajectory
 # file per setting.  Since the RuntimeContext redesign this exercises the

@@ -149,9 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "experiment",
         nargs="?",
-        choices=experiment_names() + ["serve"],
+        choices=experiment_names() + ["serve", "library"],
         help="which figure/table to time (omit with --all); `serve` benchmarks "
-        "the coalescing search service against serial parity runs",
+        "the coalescing search service against serial parity runs; `library` "
+        "benchmarks graph-library builds and warm-started search",
     )
     bench.add_argument(
         "--clients",
@@ -216,6 +217,83 @@ def build_parser() -> argparse.ArgumentParser:
 
     lister = subparsers.add_parser("list", help="list experiments and stored runs")
     lister.add_argument("--results-dir", help="artifact store root")
+    lister.add_argument(
+        "--json", action="store_true", help="machine-readable experiments and runs"
+    )
+
+    library = subparsers.add_parser(
+        "library",
+        help="build and inspect the ahead-of-time graph library "
+        "(enumerate once, warm-start every search)",
+    )
+    library_sub = library.add_subparsers(dest="library_command", required=True)
+
+    lib_build = library_sub.add_parser(
+        "build", help="enumerate a slot family's design space into a library artifact"
+    )
+    lib_build.add_argument(
+        "family",
+        nargs="?",
+        default="all",
+        help="slot family to build (gpt2, resnet, resnext, densenet, "
+        "efficientnet) or 'all' (default)",
+    )
+    lib_build.add_argument(
+        "--max-depth", type=int, help="enumeration depth (default: per-family)"
+    )
+    lib_build.add_argument(
+        "--shards",
+        type=int,
+        help="worker shards per enumeration level (REPRO_SEARCH_SHARDS); the "
+        "artifact is bit-identical at any shard count",
+    )
+    lib_build.add_argument(
+        "--neighbours",
+        type=int,
+        default=8,
+        help="nearest-neighbour list length per complete entry (default 8)",
+    )
+    lib_build.add_argument(
+        "--force", action="store_true", help="rebuild even if a matching artifact exists"
+    )
+    lib_build.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="skip per-level checkpointing (a killed build restarts from scratch)",
+    )
+    lib_build.add_argument("--json", action="store_true", help="machine-readable summary")
+    lib_build.add_argument(
+        "--library-dir", help="library root (default: $REPRO_LIBRARY_DIR or <results>/library)"
+    )
+    lib_build.add_argument("--results-dir", help="artifact store root")
+
+    lib_stats = library_sub.add_parser(
+        "stats", help="show a built library's entry counts, pruning statistics and hash"
+    )
+    lib_stats.add_argument(
+        "family", nargs="?", help="one slot family (default: every artifact present)"
+    )
+    lib_stats.add_argument("--json", action="store_true", help="machine-readable output")
+    lib_stats.add_argument(
+        "--library-dir", help="library root (default: $REPRO_LIBRARY_DIR or <results>/library)"
+    )
+    lib_stats.add_argument("--results-dir", help="artifact store root")
+
+    lib_query = library_sub.add_parser(
+        "query", help="look up library entries (complete candidates, neighbours)"
+    )
+    lib_query.add_argument("family", help="slot family whose library to query")
+    lib_query.add_argument(
+        "--signature", help="show one entry (with its nearest neighbours) by signature"
+    )
+    lib_query.add_argument(
+        "--top", type=int, default=10, help="how many complete entries to list (default 10)"
+    )
+    lib_query.add_argument("--json", action="store_true", help="machine-readable output")
+    lib_query.add_argument(
+        "--library-dir", help="library root (default: $REPRO_LIBRARY_DIR or <results>/library)"
+    )
+    lib_query.add_argument("--results-dir", help="artifact store root")
 
     show = subparsers.add_parser(
         "config", help="print the resolved runtime configuration and its provenance"
@@ -810,6 +888,184 @@ def _bench_serve(args: argparse.Namespace, store: ArtifactStore, config: Experim
     return 0
 
 
+def _bench_library(
+    args: argparse.Namespace, store: ArtifactStore, config: ExperimentConfig
+) -> int:
+    """Benchmark library builds and the warm-start contract end to end.
+
+    Three legs, all asserted rather than merely timed:
+
+    1. **Build parity** — the gpt2 space is built serially and at two shards;
+       the artifacts must be bit-identical (same content hash).
+    2. **Family sweep** — every slot family is built (reusing matching
+       artifacts), recording entry counts and enumeration statistics.
+    3. **Warm start** — a cold search (fresh caches, no library) is timed and
+       its proxy-training count measured, its rewards are exported to the
+       library sidecar, then a warm-started search (fresh caches again) must
+       reach at least the same best reward with strictly fewer proxy
+       trainings.
+
+    Proxy trainings are counted as new reward-cache entries: each leg runs in
+    an isolated context whose reward cache starts empty, so entries present
+    afterwards were either trained in that leg or (warm leg only) seeded from
+    the sidecar — the seeded count is subtracted.
+    """
+    from repro.library.builder import build_library
+    from repro.library.warmstart import export_rewards, plan_warm_start
+
+    runtime = _command_runtime(args)
+    depth = 3 if config.smoke else None
+    spaces = _library_spaces(depth)
+    gpt2 = spaces["gpt2"]
+    print(f"bench library: root {runtime.library_path()} (smoke={config.smoke})")
+
+    # Leg 1: serial vs sharded build parity.
+    start = time.perf_counter()
+    serial = build_library(
+        gpt2.spec, gpt2.options, name=gpt2.name, runtime=runtime, shards=1, force=True
+    )
+    serial_seconds = round(time.perf_counter() - start, 3)
+    start = time.perf_counter()
+    sharded = build_library(
+        gpt2.spec, gpt2.options, name=gpt2.name, runtime=runtime, shards=2, force=True
+    )
+    sharded_seconds = round(time.perf_counter() - start, 3)
+    build_parity = serial.content_hash == sharded.content_hash
+    print(
+        f"  build gpt2: serial {serial_seconds:.2f}s, 2 shards {sharded_seconds:.2f}s, "
+        f"{serial.entries} entries, hash {serial.content_hash[:16]} "
+        f"{'== sharded' if build_parity else '!= sharded ' + sharded.content_hash[:16]}"
+    )
+
+    # Leg 2: sweep every slot family (reuses the artifact when it matches).
+    sweep: list[dict] = []
+    for name in sorted(spaces):
+        space = spaces[name]
+        start = time.perf_counter()
+        result = build_library(
+            space.spec, space.options, name=space.name, runtime=runtime
+        )
+        # Meta stats survive artifact reuse (a reused build carries no live
+        # SynthesisStats of its own).
+        stats = result.library.meta.get("stats") or {}
+        sweep.append(
+            {
+                "family": name,
+                "entries": result.entries,
+                "complete": result.complete,
+                "levels": result.levels,
+                "reused": result.reused,
+                "seconds": round(time.perf_counter() - start, 3),
+                "dead_ends_by_distance": stats.get("dead_ends_by_distance", 0),
+                "canonicalization_rejections": sum(
+                    (stats.get("canonicalization_rejections") or {}).values()
+                ),
+            }
+        )
+        print(
+            f"  sweep {name:13s} {result.entries:5d} entries "
+            f"({result.complete} complete){'  [reused]' if result.reused else ''}"
+        )
+
+    # Leg 3: cold search, export rewards, warm-started search.
+    cold = runtime.isolated(warm_start=False)
+    with cold.activate(adopt=False):
+        start = time.perf_counter()
+        cold_outcome = run_experiment("search", config, store=None)
+        cold_seconds = round(time.perf_counter() - start, 3)
+    cold_entries = cold.caches.reward.export_entries()
+    cold_trainings = len(cold_entries)
+    cold_best = max(cold_entries.values(), default=0.0)
+    if not cold_entries:
+        print("FAIL: the cold search trained nothing to warm-start from", file=sys.stderr)
+        return 1
+    cache_context = next(iter(cold_entries))[0]
+    exported = export_rewards(
+        {signature: reward for (_, signature), reward in cold_entries.items()},
+        name=gpt2.name,
+        cache_context=cache_context,
+        runtime=runtime,
+    )
+    print(
+        f"  cold search: {cold_trainings} proxy training(s) in {cold_seconds:.2f}s, "
+        f"best reward {cold_best:.6f}, {exported} reward(s) exported to the sidecar"
+    )
+
+    warm = runtime.isolated(warm_start=True)
+    with warm.activate(adopt=False):
+        # Planning ahead of the run seeds the reward cache now and tells us
+        # how many entries were seeds; the run's own plan then seeds nothing,
+        # so trainings = entries afterwards - seeded.
+        plan = plan_warm_start(
+            gpt2.spec, cache_context=cache_context, name=gpt2.name, runtime=warm
+        )
+        seeded = plan.seeded_rewards if plan is not None else 0
+        start = time.perf_counter()
+        warm_outcome = run_experiment("search", config, store=None)
+        warm_seconds = round(time.perf_counter() - start, 3)
+    warm_entries = warm.caches.reward.export_entries()
+    warm_trainings = len(warm_entries) - seeded
+    warm_best = max(warm_entries.values(), default=0.0)
+    fingerprint_parity = (
+        cold_outcome.record.fingerprint() == warm_outcome.record.fingerprint()
+    )
+    print(
+        f"  warm search: {warm_trainings} proxy training(s) "
+        f"({seeded} seeded) in {warm_seconds:.2f}s, best reward {warm_best:.6f}"
+    )
+
+    entry = {
+        "experiment": "library",
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": config.to_dict(),
+        "build": {
+            "family": gpt2.name,
+            "entries": serial.entries,
+            "complete": serial.complete,
+            "serial_seconds": serial_seconds,
+            "sharded_seconds": sharded_seconds,
+            "content_hash": serial.content_hash,
+            "parity": build_parity,
+        },
+        "sweep": sweep,
+        "warm_start": {
+            "cold_trainings": cold_trainings,
+            "cold_seconds": cold_seconds,
+            "cold_best_reward": cold_best,
+            "seeded_rewards": seeded,
+            "warm_trainings": warm_trainings,
+            "warm_seconds": warm_seconds,
+            "warm_best_reward": warm_best,
+            "fingerprint_parity": fingerprint_parity,
+        },
+    }
+    output = Path(args.output) if args.output else store.root / "BENCH_library.json"
+    _append_bench_record(output, entry, name="library")
+    print(f"bench record appended to {output}")
+
+    failures: list[str] = []
+    if not build_parity:
+        failures.append("serial and sharded gpt2 builds diverge")
+    if warm_trainings >= cold_trainings:
+        failures.append(
+            f"warm start did not save proxy trainings "
+            f"({warm_trainings} warm vs {cold_trainings} cold)"
+        )
+    if warm_best < cold_best - 1e-12:
+        failures.append(
+            f"warm best reward {warm_best:.6f} below cold {cold_best:.6f}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: sharded build bit-identical; warm start reached reward "
+        f"{warm_best:.6f} with {warm_trainings}/{cold_trainings} trainings"
+    )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     store = _store(args)
     config = config_from_args(args)
@@ -817,6 +1073,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     if args.experiment == "serve":
         return _bench_serve(args, store, config)
+    if args.experiment == "library":
+        return _bench_library(args, store, config)
 
     if args.all_experiments:
         if args.experiment is not None:
@@ -1033,11 +1291,29 @@ def cmd_cache(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
+    store = _store(args)
+    records = store.list_runs()
+    if args.json:
+        payload = {
+            "experiments": experiment_descriptions(),
+            "results_dir": str(store.root),
+            "runs": [
+                {
+                    "run_id": record.run_id,
+                    "experiment": record.experiment,
+                    "status": record.status,
+                    "started_at": record.started_at,
+                    "duration_seconds": record.duration_seconds,
+                    "fingerprint": record.fingerprint(),
+                }
+                for record in records
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     print("experiments:")
     for name, description in experiment_descriptions().items():
         print(f"  {name:26s} {description}")
-    store = _store(args)
-    records = store.list_runs()
     print()
     if records:
         print(f"stored runs in {store.root}:")
@@ -1049,6 +1325,270 @@ def cmd_list(args: argparse.Namespace) -> int:
     else:
         print(f"no stored runs in {store.root}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# repro library
+# ---------------------------------------------------------------------------
+
+
+def _library_runtime(args: argparse.Namespace) -> RuntimeContext:
+    """The context a library command runs under: ``--library-dir`` re-roots it."""
+    runtime = _command_runtime(args)
+    library_dir = getattr(args, "library_dir", None)
+    if library_dir:
+        runtime = runtime.derive(library_dir=str(library_dir))
+    return runtime
+
+
+def _library_spaces(max_depth: int | None):
+    from repro.library.specs import design_spaces
+
+    if max_depth is None:
+        return design_spaces()
+    return design_spaces(max_depth=max_depth, gpt2_depth=max_depth)
+
+
+def _library_names_on_disk(root: str) -> list[str]:
+    """Artifact names present under ``root`` (current format version only)."""
+    from repro.library.store import library_filename
+
+    suffix = library_filename("")
+    try:
+        filenames = sorted(os.listdir(root))
+    except (FileNotFoundError, NotADirectoryError):
+        return []
+    return [
+        filename[: -len(suffix)]
+        for filename in filenames
+        if filename.endswith(suffix) and not filename.startswith("rewards-")
+    ]
+
+
+def _library_build(args: argparse.Namespace) -> int:
+    from repro.library.builder import build_library
+
+    runtime = _library_runtime(args)
+    spaces = _library_spaces(args.max_depth)
+    if args.family == "all":
+        names = sorted(spaces)
+    elif args.family in spaces:
+        names = [args.family]
+    else:
+        print(
+            f"library build: unknown family {args.family!r} "
+            f"(available: {', '.join(sorted(spaces))}, all)",
+            file=sys.stderr,
+        )
+        return 2
+
+    summaries: list[dict] = []
+    if not args.json:
+        print(f"library root: {runtime.library_path()}")
+    for name in names:
+        space = spaces[name]
+        start = time.perf_counter()
+        result = build_library(
+            space.spec,
+            space.options,
+            name=space.name,
+            runtime=runtime,
+            shards=args.shards,
+            neighbours=args.neighbours,
+            checkpoint=not args.no_checkpoint,
+            force=args.force,
+        )
+        elapsed = round(time.perf_counter() - start, 3)
+        summaries.append(
+            {
+                "family": name,
+                "path": result.path,
+                "entries": result.entries,
+                "complete": result.complete,
+                "levels": result.levels,
+                "content_hash": result.content_hash,
+                "reused": result.reused,
+                "resumed_from_level": result.resumed_from_level,
+                "seconds": elapsed,
+            }
+        )
+        if not args.json:
+            if result.reused:
+                status = "reused"
+            elif result.resumed_from_level:
+                status = f"resumed@{result.resumed_from_level}"
+            else:
+                status = "built"
+            print(
+                f"  {name:13s} {status:9s} {result.entries:5d} entries "
+                f"({result.complete} complete, {result.levels} level(s))  "
+                f"hash {result.content_hash[:16]}  {elapsed:7.2f}s"
+            )
+    if args.json:
+        print(
+            json.dumps(
+                {"library_dir": runtime.library_path(), "builds": summaries}, indent=2
+            )
+        )
+    return 0
+
+
+def _format_library_stats(item: dict) -> list[str]:
+    """Human lines for one library's enumeration statistics."""
+    stats = item.get("stats") or {}
+    lines = [
+        f"{item['name']}: {item['entries']} entries "
+        f"({item['complete']} complete, max depth {item['max_depth']}, "
+        f"{item['levels']} level(s))  hash {item['content_hash'][:16]}",
+        f"  path: {item['path']}",
+    ]
+    if stats:
+        lines.append(
+            f"  enumeration: {stats.get('nodes_visited', 0)} node(s) visited, "
+            f"{stats.get('children_generated', 0)} children generated, "
+            f"{stats.get('completed', 0)} completed, "
+            f"{stats.get('rejected_by_budget', 0)} over budget"
+        )
+        lines.append(
+            f"  shape distance: {stats.get('pruned_by_distance', 0)} pruned, "
+            f"{stats.get('dead_ends_by_distance', 0)} dead end(s)"
+        )
+        rejections = stats.get("canonicalization_rejections") or {}
+        if rejections:
+            per_rule = ", ".join(
+                f"{rule} {count}" for rule, count in sorted(rejections.items())
+            )
+            total = sum(rejections.values())
+            lines.append(f"  canonicalization rejections: {total} ({per_rule})")
+        else:
+            lines.append("  canonicalization rejections: 0")
+    return lines
+
+
+def _library_stats(args: argparse.Namespace) -> int:
+    from repro.library.store import GraphLibrary, library_filename
+
+    runtime = _library_runtime(args)
+    root = runtime.library_path()
+    names = [args.family] if args.family else _library_names_on_disk(root)
+    if not names:
+        print(
+            f"no library artifacts in {root} (run `repro library build` first)",
+            file=sys.stderr,
+        )
+        return 1
+
+    payload: list[dict] = []
+    for name in names:
+        path = os.path.join(root, library_filename(name))
+        library = GraphLibrary.load(path)
+        if library is None:
+            print(
+                f"library stats: no readable artifact for {name!r} at {path}",
+                file=sys.stderr,
+            )
+            return 1
+        meta = library.meta
+        payload.append(
+            {
+                "name": meta.get("name", name),
+                "path": path,
+                "entries": len(library),
+                "complete": meta.get("complete", len(library.complete_entries())),
+                "max_depth": meta.get("max_depth"),
+                "levels": meta.get("levels"),
+                "content_hash": library.content_hash(),
+                "spec_key": meta.get("spec_key"),
+                "stats": meta.get("stats", {}),
+            }
+        )
+    if args.json:
+        print(json.dumps({"library_dir": root, "libraries": payload}, indent=2))
+        return 0
+    print(f"library root: {root}")
+    for item in payload:
+        for line in _format_library_stats(item):
+            print(line)
+    return 0
+
+
+def _library_query(args: argparse.Namespace) -> int:
+    from repro.library.store import GraphLibrary, library_filename
+
+    runtime = _library_runtime(args)
+    path = os.path.join(runtime.library_path(), library_filename(args.family))
+    library = GraphLibrary.load(path)
+    if library is None:
+        print(
+            f"library query: no artifact for {args.family!r} at {path} "
+            f"(run `repro library build {args.family}` first)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.signature:
+        entry = library.get(args.signature)
+        if entry is None:
+            print(
+                f"library query: signature not in the {args.family} library: "
+                f"{args.signature}",
+                file=sys.stderr,
+            )
+            return 1
+        payload = json.loads(entry.to_payload())
+        if args.json:
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(f"signature: {entry.signature}")
+        print(f"  depth {entry.depth}  complete {entry.complete}")
+        print(f"  macs {entry.macs}  params {entry.params}")
+        print(f"  produced by {entry.primitive or '<root>'}")
+        print(f"  parent: {entry.parent_signature or '<none>'}")
+        if entry.neighbours:
+            print("  nearest neighbours:")
+            for neighbour in entry.neighbours:
+                print(f"    {neighbour}")
+        return 0
+
+    # Cheapest complete candidates first: the library's ranking view.
+    complete = sorted(
+        library.complete_entries(), key=lambda entry: (entry.macs, entry.signature)
+    )
+    top = complete[: max(args.top, 1)]
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "family": args.family,
+                    "complete": len(complete),
+                    "entries": [json.loads(entry.to_payload()) for entry in top],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"{args.family}: {len(complete)} complete candidate(s), "
+        f"cheapest {len(top)} by MACs:"
+    )
+    print(f"  {'signature':44s} {'depth':>5s} {'macs':>10s} {'params':>8s}")
+    for entry in top:
+        label = (
+            entry.signature
+            if len(entry.signature) <= 44
+            else entry.signature[:41] + "..."
+        )
+        print(f"  {label:44s} {entry.depth:5d} {entry.macs:10d} {entry.params:8d}")
+    return 0
+
+
+def cmd_library(args: argparse.Namespace) -> int:
+    handlers = {
+        "build": _library_build,
+        "stats": _library_stats,
+        "query": _library_query,
+    }
+    return handlers[args.library_command](args)
 
 
 # ---------------------------------------------------------------------------
@@ -1312,6 +1852,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "cache": cmd_cache,
         "list": cmd_list,
+        "library": cmd_library,
         "config": cmd_config,
         "chaos": cmd_chaos,
         "lint": cmd_lint,

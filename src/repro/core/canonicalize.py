@@ -213,6 +213,20 @@ class CanonicalizationEngine:
         """Whether applying ``primitive`` to ``operands`` keeps the graph canonical."""
         return all(rule(graph, primitive, operands) for rule in self.rules)
 
+    def rejecting_rule(
+        self, graph: PGraph, primitive: Primitive, operands: Sequence[Dim]
+    ) -> str | None:
+        """The name of the first rule that rejects the application, or ``None``.
+
+        The observability counterpart of :meth:`is_canonical`: enumeration
+        statistics attribute each pruned application to the rule that pruned
+        it (``SynthesisStats.canonicalization_rejections``).
+        """
+        for rule in self.rules:
+            if not rule(graph, primitive, operands):
+                return getattr(rule, "__name__", repr(rule))
+        return None
+
     def add_rule(self, rule: Rule) -> None:
         """Register an additional user-defined rule (the paper's extensibility)."""
         self.rules.append(rule)

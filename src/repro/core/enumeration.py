@@ -78,8 +78,19 @@ class EnumerationOptions:
     #: use shape-distance guidance (disabled for the Section 9.4 ablation).
     use_shape_distance: bool = True
 
-    def allows(self, graph: PGraph, primitive: Primitive, operands: Sequence[Dim]) -> bool:
-        """Occurrence-limit and canonicalization checks for one application."""
+    def allows(
+        self,
+        graph: PGraph,
+        primitive: Primitive,
+        operands: Sequence[Dim],
+        stats: "SynthesisStats | None" = None,
+    ) -> bool:
+        """Occurrence-limit and canonicalization checks for one application.
+
+        With ``stats`` given, canonicalization rejections are attributed to
+        the rule that fired (``stats.canonicalization_rejections``) — the
+        pruning detail the library builder and ``repro library stats`` report.
+        """
         if isinstance(primitive, Expand) and graph.count_primitive(Expand) >= self.max_expands:
             return False
         if isinstance(primitive, Stride) and graph.count_primitive(Stride) >= self.max_strides:
@@ -94,10 +105,14 @@ class EnumerationOptions:
                 return False
             if primitive.new_weight and len(graph.weights) >= self.max_weights:
                 return False
-        if self.canonicalizer is not None and not self.canonicalizer.is_canonical(
-            graph, primitive, operands
-        ):
-            return False
+        if self.canonicalizer is not None:
+            if stats is not None:
+                rule = self.canonicalizer.rejecting_rule(graph, primitive, operands)
+                if rule is not None:
+                    stats.note_canonicalization_rejection(rule)
+                    return False
+            elif not self.canonicalizer.is_canonical(graph, primitive, operands):
+                return False
         return True
 
     def within_budgets(self, graph: PGraph) -> bool:
@@ -193,13 +208,17 @@ def _candidate_applications(
 
 
 def enumerate_children(
-    graph: PGraph, options: EnumerationOptions
+    graph: PGraph, options: EnumerationOptions, stats: "SynthesisStats | None" = None
 ) -> list[tuple[Action, PGraph]]:
-    """All canonical one-primitive extensions of a partial pGraph."""
+    """All canonical one-primitive extensions of a partial pGraph.
+
+    ``stats`` (optional) accumulates per-rule canonicalization rejections —
+    see :meth:`EnumerationOptions.allows`.
+    """
     children: list[tuple[Action, PGraph]] = []
     seen_signatures: set[str] = set()
     for primitive, operands in _candidate_applications(graph, options):
-        if not options.allows(graph, primitive, operands):
+        if not options.allows(graph, primitive, operands, stats=stats):
             continue
         try:
             child = primitive.apply(graph, operands)
@@ -221,13 +240,57 @@ def enumerate_children(
 
 @dataclass
 class SynthesisStats:
-    """Bookkeeping for a synthesis run (used by the ablation experiments)."""
+    """Bookkeeping for a synthesis run (used by the ablation experiments).
+
+    Beyond the aggregate counters, two pruning details are recorded so a
+    starved search is diagnosable instead of just slow:
+    :attr:`canonicalization_rejections` attributes every pruned application
+    to the rule that fired, and :attr:`dead_ends_by_distance` counts interior
+    nodes whose *every* child was discarded by the shape-distance guide —
+    the condition that silently starves random rollouts on constrained specs.
+    """
 
     nodes_visited: int = 0
     children_generated: int = 0
     pruned_by_distance: int = 0
     completed: int = 0
     rejected_by_budget: int = 0
+    #: canonicalization-rule name -> how many applications it rejected.
+    canonicalization_rejections: dict[str, int] = field(default_factory=dict)
+    #: nodes where shape-distance pruning discarded every generated child.
+    dead_ends_by_distance: int = 0
+
+    def note_canonicalization_rejection(self, rule: str) -> None:
+        self.canonicalization_rejections[rule] = (
+            self.canonicalization_rejections.get(rule, 0) + 1
+        )
+
+    def merge(self, other: "SynthesisStats") -> None:
+        """Fold another run's counters into this one (shard aggregation)."""
+        self.nodes_visited += other.nodes_visited
+        self.children_generated += other.children_generated
+        self.pruned_by_distance += other.pruned_by_distance
+        self.completed += other.completed
+        self.rejected_by_budget += other.rejected_by_budget
+        self.dead_ends_by_distance += other.dead_ends_by_distance
+        for rule, count in other.canonicalization_rejections.items():
+            self.canonicalization_rejections[rule] = (
+                self.canonicalization_rejections.get(rule, 0) + count
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (library metadata, ``repro library stats``)."""
+        return {
+            "nodes_visited": self.nodes_visited,
+            "children_generated": self.children_generated,
+            "pruned_by_distance": self.pruned_by_distance,
+            "completed": self.completed,
+            "rejected_by_budget": self.rejected_by_budget,
+            "canonicalization_rejections": dict(
+                sorted(self.canonicalization_rejections.items())
+            ),
+            "dead_ends_by_distance": self.dead_ends_by_distance,
+        }
 
 
 def synthesize(
@@ -267,11 +330,12 @@ def synthesize(
         if graph.depth >= options.max_depth:
             return
 
-        children = enumerate_children(graph, options)
+        children = enumerate_children(graph, options, stats=stats)
         stats.children_generated += len(children)
         if rng is not None:
             rng.shuffle(children)
         remaining = options.max_depth - graph.depth - 1
+        pruned_here = 0
         for _, child in children:
             if len(results) >= max_results or stats.nodes_visited >= max_nodes:
                 return
@@ -279,8 +343,11 @@ def synthesize(
                 distance = shape_distance(child.frontier_shape, child.input_shape)
                 if distance > remaining:
                     stats.pruned_by_distance += 1
+                    pruned_here += 1
                     continue
             visit(child)
+        if children and pruned_here == len(children):
+            stats.dead_ends_by_distance += 1
 
     visit(root)
     return results, stats

@@ -77,6 +77,12 @@ class MCTSConfig:
     #: (same backbone, same evaluation settings) reuse each other's rewards;
     #: ``None`` keeps rewards private to this search instance.
     cache_context: Hashable | None = None
+    #: signatures of root children to expand first, best first (seeded by the
+    #: library warm start, :mod:`repro.library.warmstart`).  Pure reordering
+    #: of the root's untried list: the RNG stream — shuffles and rollouts —
+    #: is consumed identically whether or not this is set, so leaving it
+    #: empty reproduces the cold search bit for bit.
+    root_priority: tuple[str, ...] = ()
 
 
 class _Node:
@@ -308,13 +314,39 @@ class MCTS:
             children = enumerate_children(node.graph, self.options)
             children = self._prune_by_distance(node.graph, children)
             self._rng.shuffle(children)
-            node.untried = children[: self.config.max_children]
+            if node.parent is None and self.config.root_priority:
+                node.untried = self._prioritized_root_children(children)
+            else:
+                node.untried = children[: self.config.max_children]
         if not node.untried:
             return node
         action, graph = node.untried.pop()
         child = _Node(graph, node, action)
         node.children.append(child)
         return child
+
+    def _prioritized_root_children(
+        self, children: list[tuple[Action, PGraph]]
+    ) -> list[tuple[Action, PGraph]]:
+        """The root's untried list with warm-start signatures expanded first.
+
+        Expansion pops from the back, so the best-ranked preferred child goes
+        last; unranked children fill the remaining ``max_children`` slots in
+        their (already shuffled) order.  Runs after the shuffle and consumes
+        no randomness.
+        """
+        rank = {sig: index for index, sig in enumerate(self.config.root_priority)}
+        preferred: list[tuple[int, tuple[Action, PGraph]]] = []
+        rest: list[tuple[Action, PGraph]] = []
+        for action, graph in children:
+            position = rank.get(graph.signature())
+            if position is None:
+                rest.append((action, graph))
+            else:
+                preferred.append((position, (action, graph)))
+        preferred.sort(key=lambda pair: pair[0], reverse=True)
+        keep = max(self.config.max_children - len(preferred), 0)
+        return rest[:keep] + [pair for _, pair in preferred]
 
     def _prune_by_distance(
         self, graph: PGraph, children: list[tuple[Action, PGraph]]

@@ -33,6 +33,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _DIM_COUNTER = itertools.count()
 
 
+def reserve_dim_uids(highest: int) -> None:
+    """Advance the global dim uid counter strictly past ``highest``.
+
+    Dim identity (equality, frontier membership, producer attribution) relies
+    on uids being unique *within* a graph.  A graph pickled into a worker
+    process carries uids from its producer's counter; before the worker
+    extends it, the local counter must be moved past every uid the graph
+    already holds or freshly created dims could collide with them.  Used by
+    the shard-parallel library builder.
+    """
+    while next(_DIM_COUNTER) <= highest:
+        pass
+
+
 class DimRole(enum.Enum):
     """The origin of a dimension in the pGraph."""
 

@@ -36,11 +36,12 @@ from repro.codegen.eager import LoweringError
 from repro.codegen.loopnest import lower_to_loopnest
 from repro.compiler.backends import TVMBackend, linear_loopnest
 from repro.compiler.targets import A100
-from repro.core.enumeration import default_options_for
-from repro.core.library import GROUPS, K, M, OUT_FEATURES, matmul_spec
+from repro.core.library import GROUPS
 from repro.core.mcts import MCTS, MCTSConfig
 from repro.core.operator import SynthesizedOperator
 from repro.experiments.runner import make_run_record
+from repro.library.specs import gpt2_projection_space
+from repro.library.warmstart import export_rewards, plan_warm_start
 from repro.nn.data import SyntheticLanguageDataset
 from repro.nn.layers import seed_all
 from repro.nn.models.gpt2 import default_projection_factory, gpt2_tiny
@@ -251,19 +252,21 @@ def run(
     evaluator = ProjectionEvaluator(train_steps=train_steps)
 
     rows = BATCH_SIZE * SEQUENCE_LENGTH
-    binding = {M: rows, K: EMBED_DIM, OUT_FEATURES: EMBED_DIM, GROUPS: 2}
-    spec = matmul_spec(bindings=(binding,))
-    # No coefficient sizes: the grouped merge/reduce steps they add lead
-    # random rollouts into shapes that cannot complete within the depth
-    # limit, starving the frontier.  The primary sizes alone keep the space
-    # dense in feasible programs (the repo's MCTS tests search the same way).
-    options = default_options_for(
-        spec,
-        coefficients=[],
-        max_depth=max_depth,
-        macs_budget_ratio=1.0,
-        reference_macs=rows * EMBED_DIM * EMBED_DIM,
-    )
+    # The spec and enumeration options come from the slot-family registry so
+    # the ahead-of-time library (``repro library build gpt2``) describes
+    # exactly the space this search explores.  No coefficient sizes: the
+    # grouped merge/reduce steps they add lead random rollouts into shapes
+    # that cannot complete within the depth limit, starving the frontier.
+    space = gpt2_projection_space(max_depth=max_depth)
+    spec = space.spec
+    options = space.options
+    binding = space.binding
+    # Warm start (opt-in, ``REPRO_WARM_START``): expand the root toward the
+    # library's best-known regions first and seed the reward cache from the
+    # sidecar.  Leaves the RNG stream — and cold-run fingerprints — intact.
+    plan = None
+    if config.warm_start:
+        plan = plan_warm_start(spec, cache_context=evaluator.context, name=space.name)
     search = MCTS(
         spec=spec,
         options=options,
@@ -273,6 +276,7 @@ def run(
             seed=seed,
             batch_size=max(config.frontier_width, 1),
             cache_context=evaluator.context,
+            root_priority=plan.root_priority if plan is not None else (),
         ),
     )
 
@@ -286,6 +290,14 @@ def run(
             evaluator.evaluate, evaluator.context, shards=shards, runtime=runtime
         )
     samples = search.run(evaluate_batch=evaluate_batch)
+    if plan is not None:
+        # Publish fresh proxy-training rewards back to the library sidecar
+        # so the next warm-started run skips re-training these candidates.
+        export_rewards(
+            {sample.operator.graph.signature(): sample.reward for sample in samples},
+            name=plan.name,
+            cache_context=evaluator.context,
+        )
     baseline = evaluator.baseline_reward()
 
     backend = TVMBackend(trials=config.tuning_trials(32))

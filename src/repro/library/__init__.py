@@ -1,0 +1,20 @@
+"""GraphLib: the ahead-of-time design-space library.
+
+Enumerate once, search many times.  The subsystem splits into:
+
+* :mod:`repro.library.specs` — the named slot-family design spaces;
+* :mod:`repro.library.builder` — checkpointed, shard-parallel enumeration
+  deduplicated by ``PGraph.signature()``;
+* :mod:`repro.library.embeddings` — structural feature vectors and k-NN;
+* :mod:`repro.library.store` — the versioned on-disk artifact and the
+  signature -> reward sidecar;
+* :mod:`repro.library.warmstart` — seeding MCTS root frontiers and reward
+  caches from a built library.
+
+Submodules are imported lazily by clients (``from repro.library.builder
+import build_library``) rather than re-exported here: the builder pulls in
+the shard executor, whose import graph must stay acyclic with the search
+session's warm-start hook.
+"""
+
+__all__ = ["builder", "embeddings", "specs", "store", "warmstart"]

@@ -1,0 +1,397 @@
+"""Checkpointed, shard-parallel enumeration of a spec's design space.
+
+The builder runs a breadth-first sweep of the canonical pGraph space for one
+:class:`OperatorSpec` under one set of :class:`EnumerationOptions`:
+
+* each BFS level fans its frontier out over the supervised shard executor
+  (:func:`repro.search.parallel.sharded_map`), one worker call per graph;
+* children are merged back **in input order** and deduplicated globally by
+  ``PGraph.signature()`` — the first (shallowest, then lexicographically
+  first-parent) occurrence of a signature wins, so the surviving entry set is
+  a pure function of the space and never of the shard count;
+* after every level the full build state (entries, frontier, statistics) is
+  written to a CRC-framed checkpoint via an atomic replace, so a SIGKILLed
+  build resumes at the last completed level and converges to the same
+  artifact;
+* a final sharded pass computes each complete graph's nearest neighbours in
+  embedding space before the artifact is sealed.
+
+Determinism contract: serial and shard-parallel builds — and any
+checkpoint-resumed combination of the two — produce byte-identical entry
+frames and therefore the same library content hash.
+"""
+
+from __future__ import annotations
+
+import functools
+import logging
+import os
+import pickle
+import json
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.enumeration import EnumerationOptions, SynthesisStats, enumerate_children
+from repro.core.operator import OperatorSpec
+from repro.core.pgraph import PGraph, reserve_dim_uids
+from repro.core.shape_distance import shape_distance
+from repro.ir.size import SizeError
+from repro.library.embeddings import FEATURE_NAMES, feature_vector, nearest_neighbours
+from repro.library.store import (
+    GraphLibrary,
+    LibraryEntry,
+    LIBRARY_FORMAT_VERSION,
+    checkpoint_filename,
+    library_filename,
+    options_fingerprint,
+    read_frames,
+    spec_key,
+    write_frames_atomic,
+)
+from repro.runtime.context import RuntimeContext, current
+from repro.search.parallel import sharded_map
+
+log = logging.getLogger(__name__)
+
+
+@dataclass
+class BuildResult:
+    """What one :func:`build_library` call produced (or found already built)."""
+
+    library: GraphLibrary
+    path: str
+    content_hash: str
+    entries: int
+    complete: int
+    levels: int
+    #: level the build resumed from (0 = fresh build).
+    resumed_from_level: int
+    #: the artifact already existed for this spec + options; nothing ran.
+    reused: bool
+    stats: SynthesisStats
+
+
+@dataclass
+class _ChildRecord:
+    """One deduplication candidate shipped back from a shard worker."""
+
+    signature: str
+    primitive: str
+    depth: int
+    complete: bool
+    macs: int
+    params: int
+    features: tuple[float, ...]
+    #: the graph itself, only when it must be expanded at the next level.
+    graph: PGraph | None
+
+
+def _highest_uid(graph: PGraph) -> int:
+    highest = -1
+    for dim in graph.output_dims + graph.frontier:
+        highest = max(highest, dim.uid)
+    for app in graph.applications:
+        for dim in app.consumed + app.produced + app.weight_dims + app.matched:
+            highest = max(highest, dim.uid)
+    for weight in graph.weights:
+        for dim in weight.dims:
+            highest = max(highest, dim.uid)
+    return highest
+
+
+def _safe_costs(graph: PGraph, binding) -> tuple[int, int]:
+    try:
+        return graph.macs(binding), graph.parameter_count(binding)
+    except SizeError:
+        return 0, 0  # symbolic size under a partial binding
+
+
+def _expand_graph(
+    options: EnumerationOptions, graph: PGraph
+) -> tuple[str, list[_ChildRecord], SynthesisStats]:
+    """Expand one frontier graph: all surviving children + local statistics.
+
+    Runs inside shard workers; everything returned is picklable and free of
+    worker-local state (signatures and primitive descriptions are uid-free).
+    """
+    reserve_dim_uids(_highest_uid(graph))
+    stats = SynthesisStats()
+    stats.nodes_visited += 1
+    children = enumerate_children(graph, options, stats=stats)
+    stats.children_generated += len(children)
+    binding = options.budget_binding or {}
+    records: list[_ChildRecord] = []
+    pruned_here = 0
+    for action, child in children:
+        if options.use_shape_distance:
+            remaining = options.max_depth - child.depth
+            if shape_distance(child.frontier_shape, child.input_shape) > remaining:
+                stats.pruned_by_distance += 1
+                pruned_here += 1
+                continue
+        complete = child.is_complete and child.depth > 0
+        within = options.within_budgets(child) if complete else True
+        if complete:
+            if within:
+                stats.completed += 1
+            else:
+                stats.rejected_by_budget += 1
+        macs, params = _safe_costs(child, binding)
+        expandable = not complete and child.depth < options.max_depth
+        records.append(
+            _ChildRecord(
+                signature=child.signature(),
+                primitive=action.primitive.describe(),
+                depth=child.depth,
+                complete=complete and within,
+                macs=macs,
+                params=params,
+                features=feature_vector(child, binding),
+                graph=child if expandable else None,
+            )
+        )
+    if children and pruned_here == len(children):
+        stats.dead_ends_by_distance += 1
+    return graph.signature(), records, stats
+
+
+def _rank_neighbours(
+    pool: Sequence[tuple[str, tuple[float, ...]]],
+    k: int,
+    item: tuple[str, tuple[float, ...]],
+) -> tuple[str, ...]:
+    signature, features = item
+    return nearest_neighbours(signature, features, pool, k)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+def _save_checkpoint(
+    path: str,
+    name: str,
+    key: str,
+    fingerprint: str,
+    level: int,
+    entries: Sequence[LibraryEntry],
+    frontier: Sequence[PGraph],
+    stats: SynthesisStats,
+) -> None:
+    meta = json.dumps(
+        {
+            "version": LIBRARY_FORMAT_VERSION,
+            "name": name,
+            "spec_key": key,
+            "options_fingerprint": fingerprint,
+            "level": level,
+            "entries": len(entries),
+            "frontier": len(frontier),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    state = pickle.dumps(
+        {
+            "entry_payloads": [entry.to_payload() for entry in entries],
+            "frontier": list(frontier),
+            "stats": stats,
+        }
+    )
+    write_frames_atomic(path, [meta, state])
+
+
+def _load_checkpoint(
+    path: str, key: str, fingerprint: str
+) -> tuple[int, list[LibraryEntry], list[PGraph], SynthesisStats] | None:
+    """Restore build state, or ``None`` when absent, foreign, or corrupt."""
+    frames = read_frames(path)
+    if len(frames) < 2:
+        return None
+    try:
+        meta = json.loads(frames[0].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        log.warning("ignoring checkpoint %s with corrupt metadata: %s", path, exc)
+        return None
+    if (
+        meta.get("version") != LIBRARY_FORMAT_VERSION
+        or meta.get("spec_key") != key
+        or meta.get("options_fingerprint") != fingerprint
+    ):
+        log.warning("ignoring checkpoint %s: built for a different spec/options", path)
+        return None
+    try:
+        state = pickle.loads(frames[1])
+        entries = [LibraryEntry.from_payload(p) for p in state["entry_payloads"]]
+        frontier = list(state["frontier"])
+        stats = state["stats"]
+    except (pickle.UnpicklingError, KeyError, ValueError, TypeError, EOFError) as exc:
+        log.warning("ignoring undecodable checkpoint %s: %s", path, exc)
+        return None
+    if not isinstance(stats, SynthesisStats):
+        return None
+    return int(meta["level"]), entries, frontier, stats
+
+
+# ---------------------------------------------------------------------------
+# The build
+# ---------------------------------------------------------------------------
+
+
+def build_library(
+    spec: OperatorSpec,
+    options: EnumerationOptions,
+    *,
+    name: str,
+    runtime: RuntimeContext | None = None,
+    shards: int | None = None,
+    neighbours: int = 8,
+    checkpoint: bool = True,
+    force: bool = False,
+    on_level: Callable[[int], None] | None = None,
+) -> BuildResult:
+    """Enumerate ``spec``'s space under ``options`` into a library artifact.
+
+    The artifact lands under ``runtime.library_path()`` as
+    ``{name}-v{version}.rplb``.  If a matching artifact (same spec key and
+    options fingerprint) already exists it is returned untouched unless
+    ``force`` is set.  ``on_level`` is invoked after each level's checkpoint
+    is on disk — the hook the crash-resume tests drive SIGKILL through.
+    """
+    runtime = runtime if runtime is not None else current()
+    root_dir = runtime.library_path()
+    artifact_path = os.path.join(root_dir, library_filename(name))
+    checkpoint_path = os.path.join(root_dir, checkpoint_filename(name))
+    key = spec_key(spec)
+    fingerprint = options_fingerprint(options)
+
+    if not force:
+        existing = GraphLibrary.load(artifact_path)
+        if (
+            existing is not None
+            and existing.meta.get("spec_key") == key
+            and existing.meta.get("options_fingerprint") == fingerprint
+        ):
+            return BuildResult(
+                library=existing,
+                path=artifact_path,
+                content_hash=existing.content_hash(),
+                entries=len(existing),
+                complete=existing.meta.get("complete", 0),
+                levels=existing.meta.get("levels", 0),
+                resumed_from_level=0,
+                reused=True,
+                stats=SynthesisStats(),
+            )
+
+    root = PGraph.root(spec.output_shape, spec.input_shape)
+    binding = options.budget_binding or {}
+    entries: list[LibraryEntry] = [
+        LibraryEntry(
+            signature=root.signature(),
+            depth=0,
+            complete=False,
+            parent_signature=None,
+            primitive=None,
+            macs=0,
+            params=0,
+            features=feature_vector(root, binding),
+        )
+    ]
+    frontier: list[PGraph] = [root]
+    stats = SynthesisStats()
+    level = 0
+    resumed_from_level = 0
+
+    if checkpoint:
+        restored = _load_checkpoint(checkpoint_path, key, fingerprint)
+        if restored is not None:
+            level, entries, frontier, stats = restored
+            resumed_from_level = level
+            log.info(
+                "resuming library %s from level %d (%d entries, %d frontier graphs)",
+                name, level, len(entries), len(frontier),
+            )
+
+    seen = {entry.signature for entry in entries}
+    expand = functools.partial(_expand_graph, options)
+
+    while frontier and level < options.max_depth:
+        # A signature appears at most once in the frontier, so sorting by it
+        # is a total order — level results never depend on arrival order.
+        frontier.sort(key=lambda graph: graph.signature())
+        expansions = sharded_map(expand, frontier, shards=shards, runtime=runtime)
+        next_frontier: list[PGraph] = []
+        for parent_signature, records, worker_stats in expansions:
+            stats.merge(worker_stats)
+            for record in records:
+                if record.signature in seen:
+                    continue
+                seen.add(record.signature)
+                entries.append(
+                    LibraryEntry(
+                        signature=record.signature,
+                        depth=record.depth,
+                        complete=record.complete,
+                        parent_signature=parent_signature,
+                        primitive=record.primitive,
+                        macs=record.macs,
+                        params=record.params,
+                        features=record.features,
+                    )
+                )
+                if record.graph is not None:
+                    next_frontier.append(record.graph)
+        frontier = next_frontier
+        level += 1
+        if checkpoint:
+            _save_checkpoint(
+                checkpoint_path, name, key, fingerprint, level, entries, frontier, stats
+            )
+        if on_level is not None:
+            on_level(level)
+
+    # Nearest-neighbour lists for the complete entries, in a sharded pass.
+    complete_items = [(e.signature, e.features) for e in entries if e.complete]
+    if complete_items:
+        ranked = sharded_map(
+            functools.partial(_rank_neighbours, complete_items, neighbours),
+            complete_items,
+            shards=shards,
+            runtime=runtime,
+        )
+        by_signature = dict(zip((s for s, _ in complete_items), ranked))
+        entries = [
+            entry.with_neighbours(by_signature[entry.signature])
+            if entry.signature in by_signature
+            else entry
+            for entry in entries
+        ]
+
+    meta_stats = stats.to_dict()
+    meta_stats["feature_names"] = list(FEATURE_NAMES)
+    library = GraphLibrary.build(
+        name=name,
+        spec_key_=key,
+        options_fingerprint_=fingerprint,
+        entries=entries,
+        stats=meta_stats,
+        levels=level,
+    )
+    library.save(artifact_path)
+    if checkpoint:
+        try:
+            os.remove(checkpoint_path)
+        except FileNotFoundError:
+            pass
+    return BuildResult(
+        library=library,
+        path=artifact_path,
+        content_hash=library.content_hash(),
+        entries=len(library),
+        complete=library.meta.get("complete", 0),
+        levels=level,
+        resumed_from_level=resumed_from_level,
+        reused=False,
+        stats=stats,
+    )

@@ -54,8 +54,10 @@ ENV_KNOBS: dict[str, str] = {
     "shard_retries": "REPRO_SHARD_RETRIES",
     "fault_plan": "REPRO_FAULT_PLAN",
     "results_dir": "REPRO_RESULTS_DIR",
+    "library_dir": "REPRO_LIBRARY_DIR",
     "seed": "REPRO_SEED",
     "verify_plans": "REPRO_VERIFY_PLANS",
+    "warm_start": "REPRO_WARM_START",
 }
 
 _VALID_DTYPES = ("float32", "float64")
@@ -183,10 +185,17 @@ class RuntimeConfig:
     fault_plan: str = ""
     #: root of the on-disk artifact store.
     results_dir: str = "results"
+    #: root of the ahead-of-time graph library (see :mod:`repro.library`);
+    #: empty derives ``<results_dir>/library`` (use :meth:`library_root`).
+    library_dir: str = ""
     #: seed of the context's root RNG.
     seed: int = 0
     #: statically verify compiled execution plans before first execution.
     verify_plans: bool = False
+    #: seed MCTS root frontiers (and the reward cache) from the graph
+    #: library when one covers the searched spec (see
+    #: :mod:`repro.library.warmstart`).
+    warm_start: bool = False
     #: field name -> provenance tag; fields absent here are ``default``.
     provenance: Mapping[str, str] = field(default_factory=dict, compare=False, repr=False)
 
@@ -266,6 +275,7 @@ class RuntimeConfig:
         flag("eval_cache", True)
         flag("verify_plans", False)
         flag("cache_live_sync", False)
+        flag("warm_start", False)
         integer("eval_processes", 1, minimum=1)
         integer("shards", 1, minimum=1)
         integer("frontier_width", 8, minimum=1)
@@ -312,6 +322,12 @@ class RuntimeConfig:
             values["results_dir"] = raw_dir
             tags["results_dir"] = PROVENANCE_ENV
 
+        raw_library = environ.get(ENV_KNOBS["library_dir"])
+        values["library_dir"] = ""
+        if raw_library:
+            values["library_dir"] = raw_library
+            tags["library_dir"] = PROVENANCE_ENV
+
         if warn_on_fallback:
             for field_name, tag in tags.items():
                 if tag == PROVENANCE_ENV:
@@ -350,6 +366,12 @@ class RuntimeConfig:
         """Pick between the full-fidelity and smoke value of a knob."""
         return smoke if self.smoke else full
 
+    def library_root(self) -> str:
+        """The resolved graph-library root (defaults under ``results_dir``)."""
+        if self.library_dir:
+            return self.library_dir
+        return os.path.join(self.results_dir, "library")
+
     # -- reporting -----------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
@@ -370,8 +392,10 @@ class RuntimeConfig:
             "shard_retries": self.shard_retries,
             "fault_plan": self.fault_plan,
             "results_dir": self.results_dir,
+            "library_dir": self.library_root(),
             "seed": self.seed,
             "verify_plans": self.verify_plans,
+            "warm_start": self.warm_start,
         }
 
     def provenance_map(self) -> dict[str, str]:

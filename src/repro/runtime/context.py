@@ -270,6 +270,15 @@ class RuntimeContext:
         """Where this context's cache snapshot lives (inside the store)."""
         return str(self.store.cache_path)
 
+    def library_path(self) -> str:
+        """Root directory of the ahead-of-time graph library (may not exist).
+
+        Resolved from ``config.library_dir`` (``REPRO_LIBRARY_DIR``), falling
+        back to ``<results_dir>/library`` — the same derivation
+        :mod:`repro.library.store` uses to place build artifacts.
+        """
+        return self.config.library_root()
+
     def save_caches(
         self, path: str | None = None, max_entries: int | None = None
     ) -> SnapshotStatus:

@@ -79,6 +79,15 @@ class SearchConfig:
     #: worker shards for reward waves and candidate evaluation; ``None``
     #: inherits the runtime context's ``shards`` field.
     shards: int | None = None
+    #: seed the MCTS root frontier (and the reward cache) from an
+    #: ahead-of-time graph library covering the searched spec
+    #: (:mod:`repro.library.warmstart`).  ``None`` inherits the runtime
+    #: context's ``warm_start`` field (``REPRO_WARM_START``); degrades to a
+    #: cold search when no matching library exists.
+    warm_start: bool | None = None
+    #: name of the library to warm start from; ``None`` auto-discovers by
+    #: spec key under the context's library root.
+    library_name: str | None = None
     evaluation: EvaluationSettings = field(default_factory=EvaluationSettings)
 
     def effective_shards(self, runtime: RuntimeContext | None = None) -> int:
@@ -94,6 +103,13 @@ class SearchConfig:
             return max(self.frontier_width, 1)
         context = runtime if runtime is not None else current()
         return max(context.config.frontier_width, 1)
+
+    def effective_warm_start(self, runtime: RuntimeContext | None = None) -> bool:
+        """Whether this session warm starts (config beats context)."""
+        if self.warm_start is not None:
+            return self.warm_start
+        context = runtime if runtime is not None else current()
+        return context.config.warm_start
 
 
 @dataclass
@@ -177,6 +193,18 @@ class SearchSession:
         # The bound method (not a lambda) so the reward function can cross
         # the process boundary when reward waves are sharded.
         reward_fn = self.accuracy_evaluator.evaluate
+        plan = None
+        if self.config.effective_warm_start(self._rt()):
+            # Lazy import: repro.library.builder pulls the shard executor,
+            # whose module chain imports this one.
+            from repro.library.warmstart import plan_warm_start
+
+            plan = plan_warm_start(
+                self.spec,
+                cache_context=self.accuracy_evaluator._context,
+                name=self.config.library_name,
+                runtime=self._rt(),
+            )
         search = MCTS(
             spec=self.spec,
             options=options,
@@ -188,6 +216,7 @@ class SearchSession:
                 # Share rewards with every search over the same backbone and
                 # evaluation settings (the evaluator's cache context).
                 cache_context=self.accuracy_evaluator._context,
+                root_priority=plan.root_priority if plan is not None else (),
             ),
             runtime=self.runtime,
         )
@@ -202,6 +231,17 @@ class SearchSession:
                 runtime=self.runtime,
             )
         samples = search.run(evaluate_batch=evaluate_batch)
+        if plan is not None:
+            # Publish this session's proxy-training results back to the
+            # library's sidecar so later runs reuse them by signature.
+            from repro.library.warmstart import export_rewards
+
+            export_rewards(
+                {record.operator.graph.signature(): record.reward for record in samples},
+                name=plan.name,
+                cache_context=self.accuracy_evaluator._context,
+                runtime=self._rt(),
+            )
         return self.evaluate_candidates(samples, shards=shards)
 
     # -- evaluation ----------------------------------------------------------
